@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "fig3", "-trials", "1", "-ops", "800", "-fill", "64"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"## fig3", "Figure 3", "seg  0 P", "queueing delay"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunAppExperimentSmallDepth(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "app", "-depth", "1", "-trials", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "global-stack") || !strings.Contains(out.String(), "yes") {
+		t.Errorf("app output incomplete:\n%s", out.String())
+	}
+}
+
+func TestExperimentNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.name] {
+			t.Errorf("duplicate experiment name %q", e.name)
+		}
+		seen[e.name] = true
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "fig7", "-trials", "1", "-ops", "600", "-fill", "64", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "producers,stolen_per_steal_unbalanced") {
+		t.Errorf("CSV block missing:\n%s", out.String())
+	}
+}

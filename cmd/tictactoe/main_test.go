@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestPlayMode(t *testing.T) {
+	if err := run([]string{"-mode", "play", "-depth", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimMode(t *testing.T) {
+	if err := run([]string{"-mode", "sim", "-impl", "pool-linear", "-procs", "4", "-depth", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-mode", "sim", "-impl", "global-stack", "-procs", "2", "-depth", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealMode(t *testing.T) {
+	for _, impl := range []string{"global-stack", "pool-linear", "pool-random", "pool-tree"} {
+		if err := run([]string{"-mode", "real", "-impl", impl, "-procs", "4", "-depth", "1"}); err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "nope"},
+		{"-mode", "sim", "-impl", "nope"},
+		{"-mode", "real", "-impl", "nope"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseImpl(t *testing.T) {
+	if _, err := parseImpl("pool-tree"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseImpl("zzz"); err == nil {
+		t.Fatal("bad impl accepted")
+	}
+}

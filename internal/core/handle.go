@@ -1,0 +1,385 @@
+package core
+
+import (
+	"time"
+
+	"pools/internal/metrics"
+	"pools/internal/numa"
+	"pools/internal/search"
+)
+
+// Handle is a process's attachment to one segment of a Pool. All pool
+// operations go through a handle so that locality ("most operations are
+// done within the local components") is explicit in the API.
+//
+// A Handle may be used by only one goroutine at a time. Distinct handles
+// may be used concurrently; that is the entire point of the structure.
+type Handle[T any] struct {
+	pool       *Pool[T]
+	id         int
+	searcher   search.Searcher
+	world      world[T]
+	stats      metrics.PoolStats
+	registered bool
+	closed     bool
+}
+
+// ID returns the handle's segment index.
+func (h *Handle[T]) ID() int { return h.id }
+
+// Register marks this handle as a participant in the pool's operations.
+// Participation is what the abort rule counts: a Get aborts when every
+// registered, unclosed handle is simultaneously searching. Operations
+// register implicitly, but a process that will begin by removing should
+// Register all participants first so that a consumer starting before the
+// first producer's Put does not observe a one-process pool and abort
+// immediately. Register is idempotent.
+func (h *Handle[T]) Register() {
+	if h.registered || h.closed {
+		return
+	}
+	h.registered = true
+	h.pool.open.Add(1)
+}
+
+// Close withdraws this handle from the pool's participant set. A closed
+// handle's operations fail; searches by other handles no longer wait for
+// this process to add elements. Close is idempotent.
+func (h *Handle[T]) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	if h.registered {
+		h.pool.open.Add(-1)
+	}
+}
+
+// Closed reports whether Close has been called on this handle.
+func (h *Handle[T]) Closed() bool { return h.closed }
+
+// Stats returns a snapshot of this handle's operation statistics.
+func (h *Handle[T]) Stats() metrics.PoolStats { return h.stats }
+
+// now returns the current time if stats are being collected.
+func (h *Handle[T]) now() time.Time {
+	if !h.pool.opts.CollectStats {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// sinceMicros returns elapsed µs since start (0 when stats are disabled).
+func sinceMicros(start time.Time) int64 {
+	if start.IsZero() {
+		return 0
+	}
+	return time.Since(start).Microseconds()
+}
+
+// Put adds an element to the local segment. It never fails and never
+// blocks on other segments.
+func (h *Handle[T]) Put(v T) {
+	h.Register()
+	p := h.pool
+	start := h.now()
+	if p.opts.DirectedAdds && p.directPut(h.id, v) {
+		p.version.Add(1)
+		if p.opts.CollectStats {
+			h.stats.DirectedGives++
+			h.stats.RecordAdd(sinceMicros(start))
+		}
+		return
+	}
+	p.opts.Delay.Delay(numa.AccessAdd, h.id, h.id)
+	s := &p.segs[h.id]
+	s.mu.Lock()
+	s.dq.Add(v)
+	s.mu.Unlock()
+	p.version.Add(1)
+	if p.opts.CollectStats {
+		h.stats.RecordAdd(sinceMicros(start))
+	}
+}
+
+// TryPut adds an element respecting Options.SegmentCap: if the local
+// segment is full it walks the ring for a segment with spare capacity (the
+// paper's symmetric remote-add footnote) and reports whether the element
+// was placed. With SegmentCap == 0 it always places locally.
+func (h *Handle[T]) TryPut(v T) bool {
+	p := h.pool
+	h.Register()
+	cap := p.opts.SegmentCap
+	if cap <= 0 {
+		h.Put(v)
+		return true
+	}
+	start := h.now()
+	n := len(p.segs)
+	for off := 0; off < n; off++ {
+		idx := (h.id + off) % n
+		p.opts.Delay.Delay(numa.AccessAdd, h.id, idx)
+		s := &p.segs[idx]
+		s.mu.Lock()
+		if s.dq.Len() < cap {
+			s.dq.Add(v)
+			s.mu.Unlock()
+			p.version.Add(1)
+			if p.opts.CollectStats {
+				h.stats.RecordAdd(sinceMicros(start))
+			}
+			return true
+		}
+		s.mu.Unlock()
+	}
+	return false
+}
+
+// TryGetLocal removes an element from the local segment only, without
+// searching. It returns false if the local segment is empty.
+func (h *Handle[T]) TryGetLocal() (T, bool) {
+	h.Register()
+	p := h.pool
+	start := h.now()
+	p.opts.Delay.Delay(numa.AccessRemove, h.id, h.id)
+	s := &p.segs[h.id]
+	s.mu.Lock()
+	v, ok := s.dq.Remove()
+	s.mu.Unlock()
+	if ok && p.opts.CollectStats {
+		h.stats.RecordLocalRemove(sinceMicros(start))
+	}
+	return v, ok
+}
+
+// Get removes an element from the pool: locally when possible, otherwise
+// by searching remote segments and stealing half of the first non-empty
+// one. It returns ok=false when the pool or handle is closed, or when
+// every open handle is simultaneously searching (the pool is empty and no
+// participant can be adding — the paper's abort rule).
+func (h *Handle[T]) Get() (T, bool) {
+	var zero T
+	p := h.pool
+	if h.closed || p.closed.Load() {
+		return zero, false
+	}
+	h.Register()
+	start := h.now()
+
+	// Fast path: local segment.
+	p.opts.Delay.Delay(numa.AccessRemove, h.id, h.id)
+	s := &p.segs[h.id]
+	s.mu.Lock()
+	v, ok := s.dq.Remove()
+	s.mu.Unlock()
+	if ok {
+		if p.opts.CollectStats {
+			h.stats.RecordLocalRemove(sinceMicros(start))
+		}
+		return v, true
+	}
+
+	// Slow path: search and steal. TrySteal reserves one element under
+	// the segment lock, so a successful search cannot lose its element to
+	// a competing thief. With directed adds enabled the search also
+	// watches this handle's mailbox (via Aborted) for a gift.
+	searchStart := h.now()
+	h.world.beginSearch()
+	p.lookers.Add(1)
+	if p.boxes != nil {
+		p.boxes[h.id].hungry.Store(true)
+	}
+	res := h.searcher.Search(&h.world)
+	if p.boxes != nil {
+		p.boxes[h.id].hungry.Store(false)
+	}
+	p.lookers.Add(-1)
+
+	if res.Got == 0 {
+		// An abort may have been triggered by a gift landing in the
+		// mailbox; a gift may also have raced with a genuine abort.
+		if p.boxes != nil {
+			if v, ok := p.boxes[h.id].tryTake(); ok {
+				if p.opts.CollectStats {
+					h.stats.DirectedReceives++
+					h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, 1)
+				}
+				return v, true
+			}
+		}
+		if p.opts.CollectStats {
+			h.stats.RecordAbort(sinceMicros(start))
+		}
+		return zero, false
+	}
+	v = h.world.takeReserved()
+	if p.opts.CollectStats {
+		h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, res.Got)
+	}
+	return v, true
+}
+
+// world adapts a Handle to search.World / search.TreeWorld.
+type world[T any] struct {
+	h        *Handle[T]
+	reserved T
+	has      bool
+
+	// Coverage tracking for the abort rules: which segments have been
+	// probed and found empty since the last observed pool mutation.
+	seenVersion uint64
+	probed      []bool
+	probedCount int
+}
+
+// beginSearch arms the coverage tracker for a new search.
+func (w *world[T]) beginSearch() {
+	w.seenVersion = w.h.pool.version.Load()
+	if w.probed == nil {
+		w.probed = make([]bool, len(w.h.pool.segs))
+	}
+	w.resetCoverage()
+}
+
+// resetCoverage forgets which segments were seen empty.
+func (w *world[T]) resetCoverage() {
+	for i := range w.probed {
+		w.probed[i] = false
+	}
+	w.probedCount = 0
+}
+
+// sawEmpty records a fruitless probe of segment s.
+func (w *world[T]) sawEmpty(s int) {
+	if !w.probed[s] {
+		w.probed[s] = true
+		w.probedCount++
+	}
+}
+
+// covered reports whether every segment has been probed fruitlessly since
+// the last observed mutation.
+func (w *world[T]) covered() bool { return w.probedCount == len(w.probed) }
+
+var _ search.TreeWorld = (*world[int])(nil)
+
+func (w *world[T]) takeReserved() T {
+	var zero T
+	v := w.reserved
+	w.reserved = zero
+	w.has = false
+	return v
+}
+
+// Segments implements search.World.
+func (w *world[T]) Segments() int { return len(w.h.pool.segs) }
+
+// Self implements search.World.
+func (w *world[T]) Self() int { return w.h.id }
+
+// Aborted implements search.World. A search aborts when the pool or
+// handle is closed, or once it has *covered* the pool — probed every
+// segment and found it empty with no mutation observed in between — and
+// either every open handle is simultaneously searching (the paper's
+// livelock rule) or nothing has changed since the search began (the
+// sequential-liveness rule for a single goroutine driving several
+// handles). Coverage makes the decision exact: a Get never returns false
+// while an element it could have taken sits unprobed.
+func (w *world[T]) Aborted() bool {
+	p := w.h.pool
+	if p.closed.Load() || w.h.closed {
+		return true
+	}
+	// A directed-add gift ends the search; Get's slow path collects it.
+	if p.boxes != nil && len(p.boxes[w.h.id].slot) > 0 {
+		return true
+	}
+	if !w.covered() {
+		return false
+	}
+	if p.lookers.Load() >= p.open.Load() {
+		return true
+	}
+	if v := p.version.Load(); v != w.seenVersion {
+		// Something changed while we searched: re-arm and continue.
+		w.seenVersion = v
+		w.resetCoverage()
+		return false
+	}
+	return true
+}
+
+// TrySteal implements search.World. Probing the local segment reports its
+// size and reserves one element if available. Probing a remote segment
+// locks victim and self in index order, splits per the configured policy,
+// and reserves one of the stolen elements.
+func (w *world[T]) TrySteal(sIdx int) int {
+	h := w.h
+	p := h.pool
+	self := h.id
+	p.opts.Delay.Delay(numa.AccessProbe, self, sIdx)
+
+	if sIdx == self {
+		s := &p.segs[self]
+		s.mu.Lock()
+		n := s.dq.Len()
+		if n > 0 {
+			w.reserved, _ = s.dq.Remove()
+			w.has = true
+		}
+		s.mu.Unlock()
+		if n == 0 {
+			w.sawEmpty(self)
+		} else {
+			w.resetCoverage()
+		}
+		return n
+	}
+
+	a, b := sIdx, self
+	if a > b {
+		a, b = b, a
+	}
+	first, second := &p.segs[a], &p.segs[b]
+	first.mu.Lock()
+	second.mu.Lock()
+	src, dst := &p.segs[sIdx], &p.segs[self]
+	n := src.dq.Len()
+	if n == 0 {
+		second.mu.Unlock()
+		first.mu.Unlock()
+		w.sawEmpty(sIdx)
+		return 0
+	}
+	p.opts.Delay.Delay(numa.AccessSplit, self, sIdx)
+	var moved int
+	if p.opts.Steal == StealOne {
+		moved = src.dq.TakeInto(&dst.dq, 1)
+	} else {
+		moved = src.dq.SplitInto(&dst.dq)
+	}
+	w.reserved, _ = dst.dq.Remove()
+	w.has = true
+	second.mu.Unlock()
+	first.mu.Unlock()
+	w.resetCoverage()
+	p.version.Add(1) // elements relocated: other searchers must re-scan
+	return moved
+}
+
+// NumLeaves implements search.TreeWorld.
+func (w *world[T]) NumLeaves() int { return w.h.pool.leaves }
+
+// RoundOf implements search.TreeWorld.
+func (w *world[T]) RoundOf(n int) uint64 {
+	p := w.h.pool
+	p.opts.Delay.Delay(numa.AccessNode, w.h.id, -1)
+	return p.roundOf(n)
+}
+
+// MaxRound implements search.TreeWorld.
+func (w *world[T]) MaxRound(n int, r uint64) {
+	p := w.h.pool
+	p.opts.Delay.Delay(numa.AccessNode, w.h.id, -1)
+	p.maxRound(n, r)
+}

@@ -1,0 +1,65 @@
+package core
+
+// This file implements the paper's first suggested extension (Section 5):
+// "how might concurrent pools be modified so that searching processors
+// leave hints in the pool, and elements added by another processor can be
+// directed to the searching process."
+//
+// Mechanism: every handle owns a one-element mailbox. A searching process
+// raises a "hungry" flag; Put on another handle (with Options.DirectedAdds
+// enabled) scans for a hungry process and delivers the element straight
+// into its mailbox instead of the local segment. The searcher notices the
+// gift at its next abort-check and completes its remove without stealing.
+// The scan starts just past the giver's own segment, so gifts spread
+// around the ring instead of piling onto one consumer.
+
+import "sync/atomic"
+
+// mailbox is a single-slot handoff for directed adds. A buffered channel
+// of capacity 1 gives exactly the required semantics: non-blocking
+// try-send by the giver, non-blocking try-receive by the owner.
+type mailbox[T any] struct {
+	slot   chan T
+	hungry atomic.Bool
+	_      pad
+}
+
+func (m *mailbox[T]) init() { m.slot = make(chan T, 1) }
+
+// tryGive attempts to hand v to this mailbox's owner; it reports whether
+// the element was delivered.
+func (m *mailbox[T]) tryGive(v T) bool {
+	if !m.hungry.Load() {
+		return false
+	}
+	select {
+	case m.slot <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// tryTake removes a delivered element, if any.
+func (m *mailbox[T]) tryTake() (T, bool) {
+	select {
+	case v := <-m.slot:
+		return v, true
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// directPut attempts to deliver v to some hungry process other than the
+// giver, scanning the ring from the giver's successor. It reports whether
+// the element was delivered.
+func (p *Pool[T]) directPut(giver int, v T) bool {
+	n := len(p.boxes)
+	for off := 1; off <= n; off++ {
+		if p.boxes[(giver+off)%n].tryGive(v) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,288 @@
+// Package core implements the concurrent pool data structure the paper
+// evaluates: an unordered collection partitioned into per-processor
+// segments, with local adds and removes and a steal-half protocol driven
+// by a pluggable search algorithm (tree, linear, or random; see
+// internal/search).
+//
+// This is the "real" execution substrate: goroutines, mutex-protected
+// element segments, and atomic round counters, suitable for adoption as a
+// work-distribution structure. The paper's measured substrate (counter
+// segments on a simulated 16-processor Butterfly) lives in internal/sim
+// and shares the search algorithms with this package.
+//
+// # Usage model
+//
+// A Pool has a fixed number of segments. Each participating process
+// (goroutine) claims the Handle for one segment and performs all its
+// operations through it:
+//
+//	p, _ := core.New[Task](core.Options{Segments: 8, Search: search.Linear})
+//	h := p.Handle(3)       // this goroutine owns segment 3
+//	h.Put(t)               // local add
+//	t, ok := h.Get()       // local remove, stealing remotely if empty
+//
+// A Handle may be used by only one goroutine at a time. Get returns
+// ok=false only when the pool is closed, the handle is closed, or every
+// open handle is simultaneously searching — the paper's livelock
+// resolution ("when any process discovers that all the processes involved
+// in the pool operations are looking ... it aborts its operation").
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pools/internal/metrics"
+	"pools/internal/numa"
+	"pools/internal/rng"
+	"pools/internal/search"
+	"pools/internal/segment"
+)
+
+// StealPolicy selects how many elements a successful steal transfers.
+type StealPolicy int
+
+const (
+	// StealHalf is the paper's policy: take ceil(n/2) of the victim's
+	// elements, "trying to balance the available reserves and prevent its
+	// next request from also having to perform a search".
+	StealHalf StealPolicy = iota
+	// StealOne takes a single element, the ablation the paper's design
+	// argues against.
+	StealOne
+)
+
+// String names the policy.
+func (s StealPolicy) String() string {
+	if s == StealOne {
+		return "steal-one"
+	}
+	return "steal-half"
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Segments is the number of segments (and the maximum number of
+	// participating processes). Required, >= 1.
+	Segments int
+	// Search selects the steal-search algorithm. Default: search.Linear.
+	Search search.Kind
+	// Seed drives the random search algorithm's per-process streams.
+	Seed uint64
+	// Steal selects the transfer policy. Default: StealHalf.
+	Steal StealPolicy
+	// Delay, when non-zero, injects wall-clock busy-waits per access to
+	// emulate a NUMA or loosely-coupled machine (Section 4.3's delays).
+	Delay numa.Delayer
+	// TreeLocking, when true, protects tree round counters with mutexes as
+	// the paper describes; the default uses lock-free atomic max, a modern
+	// equivalent measured as an ablation.
+	TreeLocking bool
+	// CollectStats enables per-operation timing and steal accounting
+	// (small overhead; required by the benchmarks and harness).
+	CollectStats bool
+	// SegmentCap, when positive, bounds each segment for TryPut; Put
+	// ignores it. This implements the paper's footnote: "an add operation
+	// encountering a full segment ... could be handled in a symmetric
+	// fashion, adding remotely to a segment with sufficient capacity."
+	SegmentCap int
+	// DirectedAdds enables the paper's Section 5 hint extension: a Put
+	// that observes another process searching hands the element straight
+	// to that process's mailbox, sparing it the steal.
+	DirectedAdds bool
+}
+
+// ErrBadOptions is returned by New for invalid configuration.
+var ErrBadOptions = errors.New("core: invalid options")
+
+// pad keeps hot per-segment state on separate cache lines.
+type pad [64]byte
+
+type seg[T any] struct {
+	mu sync.Mutex
+	dq segment.Deque[T]
+	_  pad
+}
+
+type treeNode struct {
+	round atomic.Uint64
+	mu    sync.Mutex // used only when Options.TreeLocking
+	_     pad
+}
+
+// Pool is a concurrent pool of T. Create with New; the zero value is not
+// usable.
+type Pool[T any] struct {
+	opts    Options
+	segs    []seg[T]
+	nodes   []treeNode   // heap-indexed tree round counters (tree search only)
+	boxes   []mailbox[T] // directed-add mailboxes (DirectedAdds only)
+	leaves  int
+	handles []*Handle[T]
+
+	lookers atomic.Int32  // registered handles currently inside a search
+	open    atomic.Int32  // handles registered and not yet closed
+	version atomic.Uint64 // bumped on every mutation that can feed a search
+	closed  atomic.Bool
+}
+
+// New creates a pool with the given options.
+func New[T any](opts Options) (*Pool[T], error) {
+	if opts.Segments < 1 {
+		return nil, fmt.Errorf("%w: Segments = %d, need >= 1", ErrBadOptions, opts.Segments)
+	}
+	if opts.Search == 0 {
+		opts.Search = search.Linear
+	}
+	switch opts.Search {
+	case search.Linear, search.Random, search.Tree:
+	default:
+		return nil, fmt.Errorf("%w: unknown search kind %d", ErrBadOptions, int(opts.Search))
+	}
+	if opts.SegmentCap < 0 {
+		return nil, fmt.Errorf("%w: SegmentCap = %d", ErrBadOptions, opts.SegmentCap)
+	}
+	p := &Pool[T]{
+		opts:   opts,
+		segs:   make([]seg[T], opts.Segments),
+		leaves: search.NumLeavesFor(opts.Segments),
+	}
+	if opts.Search == search.Tree {
+		p.nodes = make([]treeNode, 2*p.leaves)
+	}
+	if opts.DirectedAdds {
+		p.boxes = make([]mailbox[T], opts.Segments)
+		for i := range p.boxes {
+			p.boxes[i].init()
+		}
+	}
+	p.handles = make([]*Handle[T], opts.Segments)
+	for i := range p.handles {
+		p.handles[i] = &Handle[T]{
+			pool:     p,
+			id:       i,
+			searcher: search.New(opts.Search, i, opts.Segments, rng.SubSeed(opts.Seed, i)),
+		}
+		p.handles[i].world.h = p.handles[i]
+	}
+	return p, nil
+}
+
+// Segments returns the number of segments.
+func (p *Pool[T]) Segments() int { return p.opts.Segments }
+
+// Handle returns the handle for segment i. Handles are created with the
+// pool; repeated calls return the same handle. It panics if i is out of
+// range (a programmer error).
+func (p *Pool[T]) Handle(i int) *Handle[T] {
+	return p.handles[i]
+}
+
+// Len returns the current total number of elements, including undelivered
+// directed-add gifts. It locks each segment in turn, so the result is a
+// consistent-per-segment snapshot, not a linearizable global count.
+func (p *Pool[T]) Len() int {
+	total := 0
+	for i := range p.segs {
+		s := &p.segs[i]
+		s.mu.Lock()
+		total += s.dq.Len()
+		s.mu.Unlock()
+	}
+	for i := range p.boxes {
+		total += len(p.boxes[i].slot)
+	}
+	return total
+}
+
+// SegmentLen returns the current size of segment i, for observability and
+// the segment-trace experiments.
+func (p *Pool[T]) SegmentLen(i int) int {
+	s := &p.segs[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dq.Len()
+}
+
+// SeedEvenly distributes items round-robin across segments, bypassing
+// per-operation accounting. It is intended for initializing experiments
+// ("a pool initialized with only 320 elements") and must not race with
+// concurrent operations.
+func (p *Pool[T]) SeedEvenly(items []T) {
+	for i, v := range items {
+		s := &p.segs[i%len(p.segs)]
+		s.mu.Lock()
+		s.dq.Add(v)
+		s.mu.Unlock()
+	}
+	p.version.Add(1)
+}
+
+// Drain removes and returns all elements, including undelivered
+// directed-add gifts. It must not race with concurrent operations.
+func (p *Pool[T]) Drain() []T {
+	var out []T
+	for i := range p.segs {
+		s := &p.segs[i]
+		s.mu.Lock()
+		out = append(out, s.dq.Drain()...)
+		s.mu.Unlock()
+	}
+	for i := range p.boxes {
+		if v, ok := p.boxes[i].tryTake(); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Close marks the pool closed: every in-flight and future search aborts
+// and Get returns false. Close is idempotent and safe to call from any
+// goroutine.
+func (p *Pool[T]) Close() { p.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+func (p *Pool[T]) Closed() bool { return p.closed.Load() }
+
+// Stats aggregates the per-handle statistics. Call it only while no
+// operations are in flight (for example, after the worker goroutines have
+// joined); per-handle collectors are unsynchronized by design.
+func (p *Pool[T]) Stats() metrics.PoolStats {
+	var total metrics.PoolStats
+	for _, h := range p.handles {
+		total.Merge(&h.stats)
+	}
+	return total
+}
+
+// roundOf reads tree node n's round counter.
+func (p *Pool[T]) roundOf(n int) uint64 {
+	if p.opts.TreeLocking {
+		nd := &p.nodes[n]
+		nd.mu.Lock()
+		defer nd.mu.Unlock()
+		return nd.round.Load()
+	}
+	return p.nodes[n].round.Load()
+}
+
+// maxRound raises node n's counter to r if greater.
+func (p *Pool[T]) maxRound(n int, r uint64) {
+	nd := &p.nodes[n]
+	if p.opts.TreeLocking {
+		nd.mu.Lock()
+		if nd.round.Load() < r {
+			nd.round.Store(r)
+		}
+		nd.mu.Unlock()
+		return
+	}
+	for {
+		cur := nd.round.Load()
+		if cur >= r || nd.round.CompareAndSwap(cur, r) {
+			return
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"pools/internal/core"
+	"pools/internal/metrics"
+	"pools/internal/numa"
+	"pools/internal/rng"
+	"pools/internal/search"
+	"pools/internal/workload"
+)
+
+// RealRunConfig describes one wall-clock trial of the paper's protocol on
+// the real concurrent pool (internal/core): one goroutine per segment,
+// a shared operation budget, and optional busy-wait NUMA emulation.
+//
+// On a single-core host this measures protocol overheads rather than true
+// parallel contention; the simulator (sim.Run) is the calibrated
+// instrument for the paper's figures. RealRun exists so the library
+// itself — the artifact a user adopts — is exercised under exactly the
+// workloads the paper defines, and so multicore hosts can compare.
+type RealRunConfig struct {
+	Workload workload.Config
+	Search   search.Kind
+	Seed     uint64
+	Steal    core.StealPolicy
+	Delay    numa.Delayer
+	Directed bool // enable the Section 5 directed-adds extension
+}
+
+// RealRunResult carries the measurements of one wall-clock trial.
+type RealRunResult struct {
+	Stats     metrics.PoolStats
+	Elapsed   time.Duration
+	Remaining int
+}
+
+// RealRun executes one trial with real goroutines and returns its
+// measurements.
+func RealRun(cfg RealRunConfig) (RealRunResult, error) {
+	wl := cfg.Workload
+	if err := wl.Validate(); err != nil {
+		return RealRunResult{}, err
+	}
+	p, err := core.New[int](core.Options{
+		Segments:     wl.Procs,
+		Search:       cfg.Search,
+		Seed:         cfg.Seed,
+		Steal:        cfg.Steal,
+		Delay:        cfg.Delay,
+		DirectedAdds: cfg.Directed,
+		CollectStats: true,
+	})
+	if err != nil {
+		return RealRunResult{}, err
+	}
+	seed := make([]int, wl.InitialElements)
+	p.SeedEvenly(seed)
+	for i := 0; i < wl.Procs; i++ {
+		p.Handle(i).Register()
+	}
+
+	budget := workload.NewBudget(wl.TotalOps)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for id := 0; id < wl.Procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := p.Handle(id)
+			ch := workload.NewChooser(wl, id, cfg.Seed)
+			for budget.TryClaim() {
+				if ch.Next() == metrics.OpAdd {
+					h.Put(0)
+				} else {
+					h.Get()
+				}
+				// Yield between operations so the shared budget is
+				// spread across all workers even on GOMAXPROCS=1 (the
+				// paper's processes each ran on their own processor;
+				// without this, one goroutine's cheap aborted removes
+				// can burn the whole budget before producers run).
+				runtime.Gosched()
+			}
+			// Withdraw so stragglers stuck searching can abort.
+			h.Close()
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return RealRunResult{
+		Stats:     p.Stats(),
+		Elapsed:   elapsed,
+		Remaining: p.Len(),
+	}, nil
+}
+
+// RealCompare runs the three algorithms on the same wall-clock workload
+// and returns one Point per algorithm (X encodes the search kind).
+func RealCompare(wl workload.Config, trials int, seed uint64) (map[search.Kind]Point, error) {
+	out := make(map[search.Kind]Point, 3)
+	for _, kind := range search.Kinds() {
+		var pt Point
+		n := float64(trials)
+		for trial := 0; trial < trials; trial++ {
+			res, err := RealRun(RealRunConfig{
+				Workload: wl,
+				Search:   kind,
+				Seed:     rng.SubSeed(seed, trial),
+			})
+			if err != nil {
+				return nil, err
+			}
+			st := res.Stats
+			pt.AvgOpTime += st.AvgOpTime() / n
+			pt.SegmentsExamined += st.SegmentsExamined.Mean() / n
+			pt.ElementsStolen += st.ElementsStolen.Mean() / n
+			pt.StealFraction += st.StealFraction() / n
+			totalOps := float64(st.Ops() + st.Aborts)
+			if totalOps > 0 {
+				pt.StealsPerOp += float64(st.Steals) / totalOps / n
+			}
+			pt.MixAchieved += st.MixAchieved() / n
+		}
+		pt.X = float64(kind)
+		out[kind] = pt
+	}
+	return out, nil
+}

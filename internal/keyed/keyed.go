@@ -1,0 +1,305 @@
+// Package keyed answers the paper's second Section 5 question: "How might
+// pools be extended to handle distinguishable elements?"
+//
+// A keyed pool partitions elements by segment (for locality, exactly like
+// the plain pool) and, within each segment, by a comparable key class.
+// Processes may remove an element of a *specific* class or of any class.
+// Local operations stay O(1); when the local segment has no element of
+// the requested class, the process walks the segment ring and steals half
+// of the first matching bucket it finds — the plain pool's linear
+// algorithm lifted to buckets.
+//
+// Unlike the plain pool, a keyed removal knows exactly what it is looking
+// for, so emptiness is decidable without the all-searching livelock rule:
+// a Get that completes a full sweep without finding its class returns
+// false. (A concurrent add of that class can race past a sweep, exactly
+// as it can in the paper's pool; callers retry if their protocol expects
+// late arrivals.)
+package keyed
+
+import (
+	"fmt"
+	"sync"
+
+	"pools/internal/segment"
+)
+
+// Options configures a keyed Pool.
+type Options struct {
+	// Segments is the number of segments (and worker handles). Required.
+	Segments int
+	// Sweeps is the number of full ring sweeps a searching Get performs
+	// before concluding the requested class is absent. Default 1.
+	Sweeps int
+}
+
+// Pool is a concurrent pool of key-classed elements. Create with New.
+type Pool[K comparable, V any] struct {
+	opts    Options
+	segs    []seg[K, V]
+	handles []*Handle[K, V]
+}
+
+type seg[K comparable, V any] struct {
+	mu      sync.Mutex
+	buckets map[K]*segment.Deque[V]
+	total   int
+	_       [64]byte
+}
+
+// New creates a keyed pool.
+func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
+	if opts.Segments < 1 {
+		return nil, fmt.Errorf("keyed: Segments = %d, need >= 1", opts.Segments)
+	}
+	if opts.Sweeps == 0 {
+		opts.Sweeps = 1
+	}
+	if opts.Sweeps < 0 {
+		return nil, fmt.Errorf("keyed: Sweeps = %d, need >= 0", opts.Sweeps)
+	}
+	p := &Pool[K, V]{opts: opts, segs: make([]seg[K, V], opts.Segments)}
+	for i := range p.segs {
+		p.segs[i].buckets = make(map[K]*segment.Deque[V])
+	}
+	p.handles = make([]*Handle[K, V], opts.Segments)
+	for i := range p.handles {
+		p.handles[i] = &Handle[K, V]{pool: p, id: i, lastFound: i}
+	}
+	return p, nil
+}
+
+// Segments returns the number of segments.
+func (p *Pool[K, V]) Segments() int { return p.opts.Segments }
+
+// Handle returns the handle for segment i.
+func (p *Pool[K, V]) Handle(i int) *Handle[K, V] { return p.handles[i] }
+
+// Len returns the total number of elements across all segments.
+func (p *Pool[K, V]) Len() int {
+	total := 0
+	for i := range p.segs {
+		s := &p.segs[i]
+		s.mu.Lock()
+		total += s.total
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// LenKey returns the number of elements of class k.
+func (p *Pool[K, V]) LenKey(k K) int {
+	total := 0
+	for i := range p.segs {
+		s := &p.segs[i]
+		s.mu.Lock()
+		if b := s.buckets[k]; b != nil {
+			total += b.Len()
+		}
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Handle is one process's attachment to a keyed pool segment. A Handle
+// may be used by only one goroutine at a time.
+type Handle[K comparable, V any] struct {
+	pool      *Pool[K, V]
+	id        int
+	lastFound int // segment where elements were last stolen
+}
+
+// ID returns the handle's segment index.
+func (h *Handle[K, V]) ID() int { return h.id }
+
+// Put adds an element of class k to the local segment. O(1).
+func (h *Handle[K, V]) Put(k K, v V) {
+	s := &h.pool.segs[h.id]
+	s.mu.Lock()
+	b := s.buckets[k]
+	if b == nil {
+		b = &segment.Deque[V]{}
+		s.buckets[k] = b
+	}
+	b.Add(v)
+	s.total++
+	s.mu.Unlock()
+}
+
+// Get removes an element of class k: locally when possible, otherwise by
+// walking the ring and stealing half of the first non-empty k-bucket. It
+// returns false after Options.Sweeps full sweeps found no element of
+// class k.
+func (h *Handle[K, V]) Get(k K) (V, bool) {
+	var zero V
+	// Local fast path.
+	if v, ok := h.takeLocal(k); ok {
+		return v, true
+	}
+	// Ring search from where elements were last found.
+	n := len(h.pool.segs)
+	probes := n * h.pool.opts.Sweeps
+	sIdx := h.lastFound
+	for i := 0; i < probes; i++ {
+		if sIdx != h.id {
+			if v, ok := h.stealFrom(sIdx, k); ok {
+				h.lastFound = sIdx
+				return v, true
+			}
+		} else if v, ok := h.takeLocal(k); ok {
+			return v, true
+		}
+		sIdx++
+		if sIdx == n {
+			sIdx = 0
+		}
+	}
+	return zero, false
+}
+
+// GetAny removes an element of any class, preferring local ones. It
+// returns false when the pool appears empty after the configured sweeps.
+func (h *Handle[K, V]) GetAny() (K, V, bool) {
+	var zeroK K
+	var zeroV V
+	if k, v, ok := h.takeLocalAny(); ok {
+		return k, v, ok
+	}
+	n := len(h.pool.segs)
+	probes := n * h.pool.opts.Sweeps
+	sIdx := h.lastFound
+	for i := 0; i < probes; i++ {
+		if sIdx != h.id {
+			if k, v, ok := h.stealAnyFrom(sIdx); ok {
+				h.lastFound = sIdx
+				return k, v, true
+			}
+		} else if k, v, ok := h.takeLocalAny(); ok {
+			return k, v, true
+		}
+		sIdx++
+		if sIdx == n {
+			sIdx = 0
+		}
+	}
+	return zeroK, zeroV, false
+}
+
+// takeLocal pops a class-k element from the local segment.
+func (h *Handle[K, V]) takeLocal(k K) (V, bool) {
+	s := &h.pool.segs[h.id]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buckets[k]
+	if b == nil {
+		var zero V
+		return zero, false
+	}
+	v, ok := b.Remove()
+	if ok {
+		s.total--
+		if b.Empty() {
+			delete(s.buckets, k)
+		}
+	}
+	return v, ok
+}
+
+// takeLocalAny pops an element of any class from the local segment.
+func (h *Handle[K, V]) takeLocalAny() (K, V, bool) {
+	s := &h.pool.segs[h.id]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, b := range s.buckets {
+		if v, ok := b.Remove(); ok {
+			s.total--
+			if b.Empty() {
+				delete(s.buckets, k)
+			}
+			return k, v, true
+		}
+	}
+	var zeroK K
+	var zeroV V
+	return zeroK, zeroV, false
+}
+
+// stealFrom steals half of segment sIdx's class-k bucket into the local
+// segment and returns one element.
+func (h *Handle[K, V]) stealFrom(sIdx int, k K) (V, bool) {
+	var zero V
+	p := h.pool
+	a, b := sIdx, h.id
+	if a > b {
+		a, b = b, a
+	}
+	p.segs[a].mu.Lock()
+	p.segs[b].mu.Lock()
+	defer p.segs[a].mu.Unlock()
+	defer p.segs[b].mu.Unlock()
+
+	src := &p.segs[sIdx]
+	srcB := src.buckets[k]
+	if srcB == nil || srcB.Empty() {
+		return zero, false
+	}
+	dst := &p.segs[h.id]
+	dstB := dst.buckets[k]
+	if dstB == nil {
+		dstB = &segment.Deque[V]{}
+		dst.buckets[k] = dstB
+	}
+	moved := srcB.SplitInto(dstB)
+	src.total -= moved
+	dst.total += moved
+	if srcB.Empty() {
+		delete(src.buckets, k)
+	}
+	v, _ := dstB.Remove()
+	dst.total--
+	if dstB.Empty() {
+		delete(dst.buckets, k)
+	}
+	return v, true
+}
+
+// stealAnyFrom steals half of some non-empty bucket of segment sIdx.
+func (h *Handle[K, V]) stealAnyFrom(sIdx int) (K, V, bool) {
+	var zeroK K
+	var zeroV V
+	p := h.pool
+	a, b := sIdx, h.id
+	if a > b {
+		a, b = b, a
+	}
+	p.segs[a].mu.Lock()
+	p.segs[b].mu.Lock()
+	defer p.segs[a].mu.Unlock()
+	defer p.segs[b].mu.Unlock()
+
+	src := &p.segs[sIdx]
+	for k, srcB := range src.buckets {
+		if srcB.Empty() {
+			continue
+		}
+		dst := &p.segs[h.id]
+		dstB := dst.buckets[k]
+		if dstB == nil {
+			dstB = &segment.Deque[V]{}
+			dst.buckets[k] = dstB
+		}
+		moved := srcB.SplitInto(dstB)
+		src.total -= moved
+		dst.total += moved
+		if srcB.Empty() {
+			delete(src.buckets, k)
+		}
+		v, _ := dstB.Remove()
+		dst.total--
+		if dstB.Empty() {
+			delete(dst.buckets, k)
+		}
+		return k, v, true
+	}
+	return zeroK, zeroV, false
+}

@@ -1,0 +1,132 @@
+package metrics
+
+// OpKind identifies the kind of pool operation being measured.
+type OpKind int
+
+// Operation kinds. The paper measures adds and removes separately (typical
+// undelayed times were ~70 µs per add and ~110 µs per remove on the
+// Butterfly) and attributes steal costs to the removes that triggered them.
+const (
+	OpAdd OpKind = iota + 1
+	OpRemove
+)
+
+// String returns "add" or "remove".
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	default:
+		return "unknown"
+	}
+}
+
+// PoolStats aggregates every per-operation measurement the paper reports
+// for one experiment run (one trial). It is not safe for concurrent use;
+// concurrent collectors keep one PoolStats per processor and Merge at the
+// end of the run.
+type PoolStats struct {
+	AddTime    Summary // duration of add operations (µs, virtual or real)
+	RemoveTime Summary // duration of remove operations, including searches
+	StealTime  Summary // duration of the search+steal portion of removes
+	AbortTime  Summary // duration of removes aborted by the livelock rule
+
+	SegmentsExamined Summary // segments probed per steal
+	ElementsStolen   Summary // elements obtained per successful steal
+
+	Adds         int64 // completed add operations
+	Removes      int64 // completed remove operations (element obtained)
+	LocalRemoves int64 // removes satisfied by the local segment
+	Steals       int64 // removes that required a successful steal
+	Aborts       int64 // removes aborted by the all-searching rule
+
+	// Directed-add extension (paper Section 5): elements handed straight
+	// to a searching process instead of the giver's local segment.
+	DirectedGives    int64 // adds delivered into another process's mailbox
+	DirectedReceives int64 // removes satisfied by a mailbox gift
+}
+
+// RecordAdd records one completed add and its duration.
+func (s *PoolStats) RecordAdd(d int64) {
+	s.Adds++
+	s.AddTime.Add(float64(d))
+}
+
+// RecordLocalRemove records a remove satisfied locally.
+func (s *PoolStats) RecordLocalRemove(d int64) {
+	s.Removes++
+	s.LocalRemoves++
+	s.RemoveTime.Add(float64(d))
+}
+
+// RecordStealRemove records a remove that needed a steal: total duration d,
+// steal portion sd, number of segments examined, and elements obtained.
+func (s *PoolStats) RecordStealRemove(d, sd int64, examined, stolen int) {
+	s.Removes++
+	s.Steals++
+	s.RemoveTime.Add(float64(d))
+	s.StealTime.Add(float64(sd))
+	s.SegmentsExamined.Add(float64(examined))
+	s.ElementsStolen.Add(float64(stolen))
+}
+
+// RecordAbort records a remove aborted because every participant was
+// searching (the paper's livelock resolution), and the time spent before
+// the abort was detected.
+func (s *PoolStats) RecordAbort(d int64) {
+	s.Aborts++
+	s.AbortTime.Add(float64(d))
+}
+
+// Merge folds another collector into s.
+func (s *PoolStats) Merge(o *PoolStats) {
+	s.AddTime.Merge(o.AddTime)
+	s.RemoveTime.Merge(o.RemoveTime)
+	s.StealTime.Merge(o.StealTime)
+	s.AbortTime.Merge(o.AbortTime)
+	s.SegmentsExamined.Merge(o.SegmentsExamined)
+	s.ElementsStolen.Merge(o.ElementsStolen)
+	s.Adds += o.Adds
+	s.Removes += o.Removes
+	s.LocalRemoves += o.LocalRemoves
+	s.Steals += o.Steals
+	s.Aborts += o.Aborts
+	s.DirectedGives += o.DirectedGives
+	s.DirectedReceives += o.DirectedReceives
+}
+
+// Ops returns the number of completed operations (adds + removes).
+func (s *PoolStats) Ops() int64 { return s.Adds + s.Removes }
+
+// AvgOpTime returns the mean duration over all operations — adds,
+// removes, and aborted removes — the quantity plotted in the paper's
+// Figure 2.
+func (s *PoolStats) AvgOpTime() float64 {
+	total := s.AddTime.Sum() + s.RemoveTime.Sum() + s.AbortTime.Sum()
+	n := s.AddTime.N() + s.RemoveTime.N() + s.AbortTime.N()
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// StealFraction returns the fraction of completed removes that required a
+// steal ("the percentage of remove operations that required a steal").
+func (s *PoolStats) StealFraction() float64 {
+	if s.Removes == 0 {
+		return 0
+	}
+	return float64(s.Steals) / float64(s.Removes)
+}
+
+// MixAchieved returns the fraction of completed operations that were adds,
+// the x-axis of Figure 2 for the producer/consumer series.
+func (s *PoolStats) MixAchieved() float64 {
+	ops := s.Ops()
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.Adds) / float64(ops)
+}

@@ -1,0 +1,109 @@
+package numa
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{AccessProbe, AccessAdd, AccessRemove, AccessSplit, AccessNode, AccessShared}
+	names := []string{"probe", "add", "remove", "split", "node", "shared"}
+	for i, k := range kinds {
+		if k.String() != names[i] {
+			t.Errorf("%d: String = %q, want %q", i, k.String(), names[i])
+		}
+	}
+	if Kind(0).String() != "unknown" {
+		t.Error("zero kind should be unknown")
+	}
+}
+
+func TestButterflyLocalCosts(t *testing.T) {
+	m := ButterflyCosts()
+	if got := m.Cost(AccessAdd, 3, 3); got != 70 {
+		t.Errorf("local add = %d, want 70", got)
+	}
+	if got := m.Cost(AccessRemove, 3, 3); got != 110 {
+		t.Errorf("local remove = %d, want 110", got)
+	}
+}
+
+func TestRemoteFactorApplied(t *testing.T) {
+	m := ButterflyCosts()
+	local := m.Cost(AccessProbe, 1, 1)
+	remote := m.Cost(AccessProbe, 1, 2)
+	if remote != 4*local {
+		t.Errorf("remote probe = %d, want %d (4x local)", remote, 4*local)
+	}
+}
+
+func TestSharedObjectsChargedLocal(t *testing.T) {
+	m := ButterflyCosts()
+	if got := m.Cost(AccessShared, 7, -1); got != m.SharedCost {
+		t.Errorf("shared access = %d, want local rate %d", got, m.SharedCost)
+	}
+}
+
+func TestNodeAlwaysRemoteWhenConfigured(t *testing.T) {
+	m := ButterflyCosts()
+	// Even an access to a node "homed" on the accessor is charged remote.
+	if got := m.Cost(AccessNode, 2, 2); got != m.NodeCost*m.RemoteFactor {
+		t.Errorf("node access = %d, want %d", got, m.NodeCost*m.RemoteFactor)
+	}
+	m.NodeRemote = false
+	if got := m.Cost(AccessNode, 2, 2); got != m.NodeCost {
+		t.Errorf("local node access = %d, want %d", got, m.NodeCost)
+	}
+}
+
+func TestWithExtraDelay(t *testing.T) {
+	m := ButterflyCosts().WithExtraDelay(1000)
+	local := m.Cost(AccessAdd, 0, 0)
+	if local != 70 {
+		t.Errorf("extra delay applied to local access: %d", local)
+	}
+	remote := m.Cost(AccessAdd, 0, 1)
+	if remote != 70*4+1000 {
+		t.Errorf("remote add with delay = %d, want %d", remote, 70*4+1000)
+	}
+	node := m.Cost(AccessNode, 0, 0)
+	if node != m.NodeCost*4+1000 {
+		t.Errorf("node with delay = %d, want %d", node, m.NodeCost*4+1000)
+	}
+}
+
+func TestRemoteFactorClamped(t *testing.T) {
+	m := ButterflyCosts()
+	m.RemoteFactor = 0
+	if got := m.Cost(AccessProbe, 0, 1); got != m.ProbeCost {
+		t.Errorf("factor<1 should clamp to 1: got %d", got)
+	}
+}
+
+func TestUnknownKindZeroCost(t *testing.T) {
+	m := ButterflyCosts()
+	if got := m.Cost(Kind(0), 0, 1); got != 0 {
+		t.Errorf("unknown kind cost = %d, want 0", got)
+	}
+}
+
+func TestDelayerZeroValueNoDelay(t *testing.T) {
+	var d Delayer
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		d.Delay(AccessAdd, 0, 1)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Errorf("zero Delayer should be near-free, took %v", elapsed)
+	}
+}
+
+func TestDelayerBusyWaits(t *testing.T) {
+	d := Delayer{Model: ButterflyCosts(), Scale: 10 * time.Microsecond}
+	// Remote add = 280 virtual µs -> 2.8 ms wall.
+	start := time.Now()
+	d.Delay(AccessAdd, 0, 1)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("delay too short: %v", elapsed)
+	}
+}

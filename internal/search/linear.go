@@ -1,0 +1,50 @@
+package search
+
+// LinearSearcher implements the paper's linear algorithm: "starts looking
+// at the segment where it last found elements, and travels from one segment
+// to the next segment, as if they were arranged in a ring, until it finds a
+// non-empty segment to split."
+type LinearSearcher struct {
+	self      int
+	lastFound int
+}
+
+// NewLinearSearcher returns a linear searcher for the process owning
+// segment self. The first search begins at the local segment, matching the
+// paper's initial LinearSearch(MyLeaf) call.
+func NewLinearSearcher(self int) *LinearSearcher {
+	return &LinearSearcher{self: self, lastFound: self}
+}
+
+var _ Searcher = (*LinearSearcher)(nil)
+
+// Kind returns Linear.
+func (l *LinearSearcher) Kind() Kind { return Linear }
+
+// Reset restores the initial state (next search starts at the local
+// segment).
+func (l *LinearSearcher) Reset() { l.lastFound = l.self }
+
+// Search walks the ring from LastFound until a steal succeeds or the world
+// aborts.
+func (l *LinearSearcher) Search(w World) Result {
+	n := w.Segments()
+	s := l.lastFound
+	if s >= n {
+		s = l.self % n
+	}
+	examined := 0
+	for !w.Aborted() {
+		got := w.TrySteal(s)
+		examined++
+		if got > 0 {
+			l.lastFound = s
+			return Result{Got: got, FoundAt: s, Examined: examined}
+		}
+		s++
+		if s == n {
+			s = 0
+		}
+	}
+	return Result{FoundAt: -1, Examined: examined}
+}

@@ -1,0 +1,77 @@
+package search
+
+import (
+	"pools/internal/segment"
+)
+
+// fakeWorld is a single-threaded in-memory World/TreeWorld for unit tests.
+// Segment contents are plain counters; TrySteal applies the paper's
+// split-half rule into the self segment.
+type fakeWorld struct {
+	self    int
+	segs    []segment.Counter
+	rounds  []uint64
+	leaves  int
+	aborted bool
+
+	probeBudget int   // abort after this many probes if > 0
+	probes      int   // total probes so far
+	probeLog    []int // sequence of probed segments
+}
+
+func newFakeWorld(self, segments int) *fakeWorld {
+	leaves := NumLeavesFor(segments)
+	return &fakeWorld{
+		self:   self,
+		segs:   make([]segment.Counter, segments),
+		rounds: make([]uint64, 2*leaves),
+		leaves: leaves,
+	}
+}
+
+func (f *fakeWorld) fill(sizes map[int]int) {
+	for s, n := range sizes {
+		f.segs[s] = segment.Counter{}
+		f.segs[s].Add(int64(n))
+	}
+}
+
+func (f *fakeWorld) total() int {
+	t := 0
+	for i := range f.segs {
+		t += f.segs[i].Len()
+	}
+	return t
+}
+
+func (f *fakeWorld) Segments() int { return len(f.segs) }
+func (f *fakeWorld) Self() int     { return f.self }
+
+func (f *fakeWorld) TrySteal(s int) int {
+	f.probes++
+	f.probeLog = append(f.probeLog, s)
+	if f.probeBudget > 0 && f.probes >= f.probeBudget {
+		f.aborted = true
+	}
+	if s == f.self {
+		return f.segs[s].Len()
+	}
+	return f.segs[s].SplitInto(&f.segs[f.self])
+}
+
+func (f *fakeWorld) Aborted() bool { return f.aborted }
+
+func (f *fakeWorld) NumLeaves() int { return f.leaves }
+
+func (f *fakeWorld) RoundOf(n int) uint64 { return f.rounds[n] }
+
+func (f *fakeWorld) MaxRound(n int, r uint64) {
+	if r > f.rounds[n] {
+		f.rounds[n] = r
+	}
+}
+
+var (
+	_ World     = (*fakeWorld)(nil)
+	_ TreeWorld = (*fakeWorld)(nil)
+)

@@ -1,0 +1,52 @@
+package segment
+
+// Counter is the paper's simplified segment: only the number of elements is
+// stored, "since the values of the elements do not matter to the
+// simulation". Add, Remove, and SplitInto mirror Deque semantics on the
+// count alone. Like Deque, Counter is unsynchronized; callers own locking.
+//
+// The zero value is an empty segment.
+type Counter struct {
+	n int64
+}
+
+// Len returns the stored element count.
+func (c *Counter) Len() int { return int(c.n) }
+
+// Empty reports whether the count is zero.
+func (c *Counter) Empty() bool { return c.n == 0 }
+
+// Add records one added element.
+func (c *Counter) Add(k int64) { c.n += k }
+
+// Remove records one removed element; it returns false if empty.
+func (c *Counter) Remove() bool {
+	if c.n == 0 {
+		return false
+	}
+	c.n--
+	return true
+}
+
+// SplitInto moves ceil(n/2) of c's count into dst, returning the number
+// moved (0 if c is empty).
+func (c *Counter) SplitInto(dst *Counter) int {
+	take := int64(SplitCount(int(c.n)))
+	c.n -= take
+	dst.n += take
+	return int(take)
+}
+
+// TakeInto moves up to k of c's count into dst, returning the number moved.
+func (c *Counter) TakeInto(dst *Counter, k int) int {
+	t := int64(k)
+	if t > c.n {
+		t = c.n
+	}
+	if t < 0 {
+		t = 0
+	}
+	c.n -= t
+	dst.n += t
+	return int(t)
+}

@@ -1,0 +1,143 @@
+// Package segment implements the local components of a concurrent pool.
+//
+// Manber's pool partitions its elements into one segment per processor.
+// The paper uses two representations:
+//
+//   - arbitrary-element segments with O(1) add, O(1) remove, and split
+//     (Deque here; Manber's original achieves O(1) split with a linked
+//     representation — ours is an amortized-O(1) ring buffer whose split
+//     is O(k) in the number of moved elements, which is the same cost as
+//     the block transfer of stolen elements the paper notes it elided);
+//   - a simplified representation storing only the element count (Counter
+//     here), which is what the paper actually measures: "we simplified the
+//     segments, representing them as a single counter that is atomically
+//     added to, subtracted from, or split in half".
+//
+// Segments are NOT synchronized: the pool (or the simulator) owns locking,
+// because the locking regime is precisely what the experiments vary.
+package segment
+
+// Deque is an unordered element segment backed by a growable ring buffer.
+// Add pushes at the tail; Remove pops at the tail (LIFO within a segment —
+// pools impose no ordering, and LIFO preserves locality for task loads);
+// SplitInto removes roughly half the elements from the head (the coldest
+// ones) into another segment, implementing the steal protocol.
+//
+// The zero value is an empty, usable segment.
+type Deque[T any] struct {
+	buf  []T
+	head int // index of first element
+	n    int // number of elements
+}
+
+// Len returns the number of elements held.
+func (d *Deque[T]) Len() int { return d.n }
+
+// Empty reports whether the segment holds no elements.
+func (d *Deque[T]) Empty() bool { return d.n == 0 }
+
+// Add inserts an element. Amortized O(1).
+func (d *Deque[T]) Add(v T) {
+	d.grow(1)
+	d.buf[(d.head+d.n)%len(d.buf)] = v
+	d.n++
+}
+
+// Remove extracts an arbitrary element (the most recently added).
+// It returns false if the segment is empty.
+func (d *Deque[T]) Remove() (T, bool) {
+	var zero T
+	if d.n == 0 {
+		return zero, false
+	}
+	idx := (d.head + d.n - 1) % len(d.buf)
+	v := d.buf[idx]
+	d.buf[idx] = zero // release for GC
+	d.n--
+	return v, true
+}
+
+// SplitInto moves ceil(n/2) elements from d into dst and returns the number
+// moved. Following the paper: "it steals roughly half of the elements ...
+// unless there is only one element in the remote segment, in which case
+// that element is taken immediately" — a 1-element segment yields exactly
+// that element. Splitting an empty segment moves nothing.
+func (d *Deque[T]) SplitInto(dst *Deque[T]) int {
+	take := SplitCount(d.n)
+	d.moveInto(dst, take)
+	return take
+}
+
+// TakeInto moves up to k elements from d into dst and returns the number
+// moved. It implements the steal-one ablation policy and partial transfers.
+func (d *Deque[T]) TakeInto(dst *Deque[T], k int) int {
+	if k > d.n {
+		k = d.n
+	}
+	if k < 0 {
+		k = 0
+	}
+	d.moveInto(dst, k)
+	return k
+}
+
+// moveInto transfers take elements from the head of d to dst.
+func (d *Deque[T]) moveInto(dst *Deque[T], take int) {
+	dst.grow(take)
+	var zero T
+	for i := 0; i < take; i++ {
+		v := d.buf[d.head]
+		d.buf[d.head] = zero
+		d.head = (d.head + 1) % len(d.buf)
+		dst.buf[(dst.head+dst.n)%len(dst.buf)] = v
+		dst.n++
+	}
+	d.n -= take
+	if d.n == 0 {
+		d.head = 0
+	}
+}
+
+// grow ensures capacity for extra more elements.
+func (d *Deque[T]) grow(extra int) {
+	need := d.n + extra
+	if need <= len(d.buf) {
+		return
+	}
+	newCap := len(d.buf) * 2
+	if newCap < 8 {
+		newCap = 8
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = buf
+	d.head = 0
+}
+
+// Drain removes and returns all elements, leaving the segment empty.
+func (d *Deque[T]) Drain() []T {
+	out := make([]T, 0, d.n)
+	for {
+		v, ok := d.Remove()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// SplitCount returns the number of elements a steal takes from a segment
+// holding n elements: ceil(n/2), so a single remaining element is taken
+// outright and a steal never leaves the thief empty-handed on a non-empty
+// segment.
+func SplitCount(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + 1) / 2
+}

@@ -1,0 +1,329 @@
+package segment
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pools/internal/rng"
+)
+
+func TestDequeZeroValueUsable(t *testing.T) {
+	var d Deque[int]
+	if !d.Empty() || d.Len() != 0 {
+		t.Fatal("zero value should be empty")
+	}
+	if _, ok := d.Remove(); ok {
+		t.Fatal("Remove on empty returned ok")
+	}
+	d.Add(42)
+	v, ok := d.Remove()
+	if !ok || v != 42 {
+		t.Fatalf("got (%v,%v), want (42,true)", v, ok)
+	}
+}
+
+func TestDequeAddRemoveMany(t *testing.T) {
+	var d Deque[int]
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.Add(i)
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	// LIFO within a segment.
+	for i := n - 1; i >= 0; i-- {
+		v, ok := d.Remove()
+		if !ok || v != i {
+			t.Fatalf("Remove = (%v,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("should be empty")
+	}
+}
+
+func TestSplitCount(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{-3, 0}, {0, 0}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {40, 20}, {41, 21},
+	}
+	for _, c := range cases {
+		if got := SplitCount(c.n); got != c.want {
+			t.Errorf("SplitCount(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDequeSplitMovesHalf(t *testing.T) {
+	for n := 0; n <= 65; n++ {
+		var src, dst Deque[int]
+		for i := 0; i < n; i++ {
+			src.Add(i)
+		}
+		moved := src.SplitInto(&dst)
+		if moved != SplitCount(n) {
+			t.Fatalf("n=%d: moved %d, want %d", n, moved, SplitCount(n))
+		}
+		if src.Len()+dst.Len() != n {
+			t.Fatalf("n=%d: conservation broken: %d + %d != %d", n, src.Len(), dst.Len(), n)
+		}
+		if diff := dst.Len() - src.Len(); diff < 0 || diff > 1 {
+			t.Fatalf("n=%d: split unbalanced: src=%d dst=%d", n, src.Len(), dst.Len())
+		}
+	}
+}
+
+func TestDequeSplitSingleElementTakenOutright(t *testing.T) {
+	var src, dst Deque[string]
+	src.Add("only")
+	if moved := src.SplitInto(&dst); moved != 1 {
+		t.Fatalf("moved = %d, want 1", moved)
+	}
+	if !src.Empty() || dst.Len() != 1 {
+		t.Fatal("single element should move entirely")
+	}
+}
+
+func TestDequeSplitPreservesElements(t *testing.T) {
+	f := func(vals []int16, preDst []int16) bool {
+		var src, dst Deque[int]
+		want := map[int]int{}
+		for _, v := range vals {
+			src.Add(int(v))
+			want[int(v)]++
+		}
+		for _, v := range preDst {
+			dst.Add(int(v))
+			want[int(v)]++
+		}
+		src.SplitInto(&dst)
+		got := map[int]int{}
+		for _, v := range src.Drain() {
+			got[v]++
+		}
+		for _, v := range dst.Drain() {
+			got[v]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDequeTakeInto(t *testing.T) {
+	var src, dst Deque[int]
+	for i := 0; i < 10; i++ {
+		src.Add(i)
+	}
+	if got := src.TakeInto(&dst, 3); got != 3 {
+		t.Fatalf("TakeInto(3) = %d", got)
+	}
+	if got := src.TakeInto(&dst, 100); got != 7 {
+		t.Fatalf("TakeInto(100) = %d, want 7", got)
+	}
+	if got := src.TakeInto(&dst, -1); got != 0 {
+		t.Fatalf("TakeInto(-1) = %d, want 0", got)
+	}
+	if dst.Len() != 10 || !src.Empty() {
+		t.Fatalf("dst=%d src=%d", dst.Len(), src.Len())
+	}
+}
+
+// Model-based test: a Deque subjected to a random operation sequence always
+// agrees with a multiset model on size and contents.
+func TestDequeModelBased(t *testing.T) {
+	x := rng.NewXoshiro256(1989)
+	var d Deque[int]
+	model := map[int]int{}
+	size := 0
+	next := 0
+	for step := 0; step < 20000; step++ {
+		switch x.Intn(3) {
+		case 0: // add
+			d.Add(next)
+			model[next]++
+			next++
+			size++
+		case 1: // remove
+			v, ok := d.Remove()
+			if ok != (size > 0) {
+				t.Fatalf("step %d: Remove ok=%v with model size %d", step, ok, size)
+			}
+			if ok {
+				if model[v] == 0 {
+					t.Fatalf("step %d: removed element %d not in model", step, v)
+				}
+				model[v]--
+				if model[v] == 0 {
+					delete(model, v)
+				}
+				size--
+			}
+		case 2: // split into a scratch segment, then merge back
+			var scratch Deque[int]
+			moved := d.SplitInto(&scratch)
+			if moved != SplitCount(size) {
+				t.Fatalf("step %d: split moved %d of %d", step, moved, size)
+			}
+			for _, v := range scratch.Drain() {
+				d.Add(v)
+			}
+		}
+		if d.Len() != size {
+			t.Fatalf("step %d: Len=%d model=%d", step, d.Len(), size)
+		}
+	}
+	got := d.Drain()
+	if len(got) != size {
+		t.Fatalf("drained %d, want %d", len(got), size)
+	}
+	sort.Ints(got)
+	for _, v := range got {
+		if model[v] == 0 {
+			t.Fatalf("drained unexpected element %d", v)
+		}
+		model[v]--
+	}
+}
+
+func TestDequeGrowthAcrossWrap(t *testing.T) {
+	var d Deque[int]
+	// Force head to wrap: fill, remove some, add more.
+	for i := 0; i < 8; i++ {
+		d.Add(i)
+	}
+	var scratch Deque[int]
+	d.SplitInto(&scratch) // advances head by 4
+	for i := 100; i < 120; i++ {
+		d.Add(i) // forces regrow with non-zero head
+	}
+	want := d.Len()
+	seen := map[int]bool{}
+	for _, v := range d.Drain() {
+		if seen[v] {
+			t.Fatalf("duplicate element %d after regrow", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != want {
+		t.Fatalf("lost elements: %d != %d", len(seen), want)
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if !c.Empty() || c.Remove() {
+		t.Fatal("zero Counter should be empty")
+	}
+	c.Add(5)
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if !c.Remove() || c.Len() != 4 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestCounterSplitMatchesSplitCount(t *testing.T) {
+	for n := 0; n <= 64; n++ {
+		var c, dst Counter
+		c.Add(int64(n))
+		moved := c.SplitInto(&dst)
+		if moved != SplitCount(n) {
+			t.Fatalf("n=%d: moved %d, want %d", n, moved, SplitCount(n))
+		}
+		if c.Len()+dst.Len() != n {
+			t.Fatalf("n=%d: conservation broken", n)
+		}
+	}
+}
+
+func TestCounterTakeInto(t *testing.T) {
+	var c, dst Counter
+	c.Add(10)
+	if got := c.TakeInto(&dst, 4); got != 4 {
+		t.Fatalf("TakeInto = %d", got)
+	}
+	if got := c.TakeInto(&dst, 100); got != 6 {
+		t.Fatalf("TakeInto over = %d", got)
+	}
+	if got := c.TakeInto(&dst, -2); got != 0 {
+		t.Fatalf("TakeInto negative = %d", got)
+	}
+	if dst.Len() != 10 || c.Len() != 0 {
+		t.Fatalf("dst=%d c=%d", dst.Len(), c.Len())
+	}
+}
+
+// Property: Counter and Deque agree on every operation's observable count.
+func TestCounterDequeEquivalence(t *testing.T) {
+	x := rng.NewXoshiro256(7)
+	var c, cDst Counter
+	var d, dDst Deque[int]
+	for step := 0; step < 10000; step++ {
+		switch x.Intn(4) {
+		case 0:
+			c.Add(1)
+			d.Add(step)
+		case 1:
+			co := c.Remove()
+			_, do := d.Remove()
+			if co != do {
+				t.Fatalf("step %d: Remove disagreement", step)
+			}
+		case 2:
+			if c.SplitInto(&cDst) != d.SplitInto(&dDst) {
+				t.Fatalf("step %d: Split disagreement", step)
+			}
+		case 3:
+			k := x.Intn(5)
+			if c.TakeInto(&cDst, k) != d.TakeInto(&dDst, k) {
+				t.Fatalf("step %d: Take disagreement", step)
+			}
+		}
+		if c.Len() != d.Len() || cDst.Len() != dDst.Len() {
+			t.Fatalf("step %d: sizes diverged: %d/%d %d/%d", step, c.Len(), d.Len(), cDst.Len(), dDst.Len())
+		}
+	}
+}
+
+func BenchmarkDequeAddRemove(b *testing.B) {
+	var d Deque[int]
+	for i := 0; i < b.N; i++ {
+		d.Add(i)
+		d.Remove()
+	}
+}
+
+func BenchmarkDequeSplit40(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var src, dst Deque[int]
+		for j := 0; j < 40; j++ {
+			src.Add(j)
+		}
+		b.StartTimer()
+		src.SplitInto(&dst)
+	}
+}
+
+func BenchmarkCounterSplit(b *testing.B) {
+	var src, dst Counter
+	for i := 0; i < b.N; i++ {
+		src.Add(40)
+		src.SplitInto(&dst)
+		dst = Counter{}
+		src = Counter{}
+		src.Add(40)
+	}
+}

@@ -1,0 +1,53 @@
+package segment
+
+import "testing"
+
+// FuzzDequeScript interprets a byte script as deque operations and checks
+// conservation and agreement with the Counter segment at every step.
+func FuzzDequeScript(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 0, 3, 1, 1})
+	f.Add([]byte{2, 2, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var d, dDst Deque[int]
+		var c, cDst Counter
+		next := 0
+		for _, op := range script {
+			switch op % 4 {
+			case 0:
+				d.Add(next)
+				c.Add(1)
+				next++
+			case 1:
+				_, dok := d.Remove()
+				cok := c.Remove()
+				if dok != cok {
+					t.Fatal("Remove disagreement")
+				}
+			case 2:
+				if d.SplitInto(&dDst) != c.SplitInto(&cDst) {
+					t.Fatal("Split disagreement")
+				}
+			case 3:
+				k := int(op) / 4
+				if d.TakeInto(&dDst, k) != c.TakeInto(&cDst, k) {
+					t.Fatal("Take disagreement")
+				}
+			}
+			if d.Len() != c.Len() || dDst.Len() != cDst.Len() {
+				t.Fatalf("size divergence: %d/%d %d/%d", d.Len(), c.Len(), dDst.Len(), cDst.Len())
+			}
+			if d.Len()+dDst.Len() > next {
+				t.Fatalf("more elements than added: %d > %d", d.Len()+dDst.Len(), next)
+			}
+		}
+		// Drain everything; each element must appear exactly once.
+		seen := map[int]bool{}
+		for _, v := range append(d.Drain(), dDst.Drain()...) {
+			if v < 0 || v >= next || seen[v] {
+				t.Fatalf("element %d duplicated or unknown", v)
+			}
+			seen[v] = true
+		}
+	})
+}

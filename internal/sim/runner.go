@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"pools/internal/metrics"
+	"pools/internal/numa"
+	"pools/internal/search"
+	"pools/internal/workload"
+)
+
+// RunConfig describes one simulated trial of the paper's protocol: P
+// processors issuing a continuous stream of operations against a seeded
+// pool until the shared operation budget is exhausted (Section 3.4).
+type RunConfig struct {
+	Workload workload.Config
+	Search   search.Kind
+	Costs    numa.CostModel
+	Seed     uint64
+	StealOne bool
+	Trace    bool
+}
+
+// RunResult carries everything the paper measures from one trial.
+type RunResult struct {
+	// Stats aggregates all processors' operation statistics.
+	Stats metrics.PoolStats
+	// PerProc holds each processor's own statistics.
+	PerProc []metrics.PoolStats
+	// Makespan is the final virtual time (µs).
+	Makespan int64
+	// Traces are per-segment size traces (only when RunConfig.Trace).
+	Traces []metrics.Trace
+	// SegmentWaited is the queueing delay suffered at each segment, the
+	// interference measure behind the bunching analysis.
+	SegmentWaited []int64
+	// Remaining is the number of elements left in the pool at the end.
+	Remaining int
+}
+
+// Run executes one trial and returns its measurements. It is deterministic
+// given RunConfig (including Seed).
+func Run(cfg RunConfig) RunResult {
+	wl := cfg.Workload
+	if err := wl.Validate(); err != nil {
+		panic(err) // programmer error: harness configs are static
+	}
+	pool := NewPool[Token](PoolConfig{
+		Procs:    wl.Procs,
+		Search:   cfg.Search,
+		Costs:    cfg.Costs,
+		Seed:     cfg.Seed,
+		StealOne: cfg.StealOne,
+		Trace:    cfg.Trace,
+	})
+	pool.Seed(wl.InitialElements, func(int) Token { return Token{} })
+
+	s := New(wl.Procs)
+	// The shared operation counter is a real shared-memory location in the
+	// paper's driver ("the processes performed operations until the
+	// combined total number of operations reached the desired amount"):
+	// claiming an operation charges a remote shared access.
+	budget := wl.TotalOps
+	budgetRes := Resource{Name: "op-budget"}
+	procs := make([]*Proc[Token], wl.Procs)
+	for id := 0; id < wl.Procs; id++ {
+		id := id
+		s.Spawn(id, func(env *Env) {
+			pr := pool.Proc(env)
+			procs[id] = pr
+			ch := workload.NewChooser(wl, id, cfg.Seed)
+			for {
+				env.Charge(&budgetRes, cfg.Costs.Cost(numa.AccessShared, id, -1))
+				if budget <= 0 {
+					// Run over: release any processors stuck searching.
+					pool.AbortAll()
+					return
+				}
+				budget--
+				if ch.Next() == metrics.OpAdd {
+					pr.Put(Token{})
+				} else {
+					pr.Get()
+				}
+			}
+		})
+	}
+	makespan := s.Run()
+
+	res := RunResult{
+		Makespan:      makespan,
+		PerProc:       make([]metrics.PoolStats, wl.Procs),
+		SegmentWaited: make([]int64, wl.Procs),
+		Traces:        pool.Traces(),
+		Remaining:     pool.Len(),
+	}
+	for id, pr := range procs {
+		res.PerProc[id] = *pr.Stats()
+		res.Stats.Merge(pr.Stats())
+		res.SegmentWaited[id] = pool.SegmentWaited(id)
+	}
+	return res
+}

@@ -1,0 +1,188 @@
+// Package sim is the measurement substrate that stands in for the paper's
+// 16-processor BBN Butterfly: a deterministic virtual-time multiprocessor.
+//
+// The paper's experimental effects — long searches under sparse job mixes,
+// consumer bunching at producers' segments, convergence of the three
+// algorithms as remote delays grow — are latency-accounting phenomena:
+// they depend on how many accesses a process performs, how expensive each
+// is (local vs remote), and how much queueing it suffers at contended
+// objects. This simulator models exactly that:
+//
+//   - each virtual processor is a goroutine with its own virtual clock
+//     (microseconds);
+//   - a central scheduler always runs the processor with the smallest
+//     clock, so execution is deterministic given a seed;
+//   - shared objects (segments, tree nodes, shared counters) are
+//     Resources with a busy-until time: accessing one queues behind the
+//     previous holder, charging queueing delay exactly like a contended
+//     lock on the Butterfly;
+//   - access costs come from internal/numa's CostModel (remote = 4x
+//     local, plus the Section 4.3 additive delay sweep).
+//
+// Between two Charge calls a processor's Go code runs exclusively (the
+// scheduler grants one processor at a time), so simulation state needs no
+// locks and real Go data structures (deques, game boards) can serve as
+// the simulated memory contents.
+package sim
+
+import "fmt"
+
+// Resource is a shared object in the simulated machine: a pool segment, a
+// tree node, or a shared counter. Accesses serialize: a processor arriving
+// while the resource is busy waits until it frees, accumulating queueing
+// delay (the simulated analogue of lock contention).
+type Resource struct {
+	Name      string
+	busyUntil int64
+	waited    int64 // total queueing delay suffered at this resource
+	accesses  int64
+}
+
+// Waited returns the total queueing delay (virtual µs) suffered by all
+// processors at this resource — the contention measure behind the paper's
+// "increased interference between the processes as they collide at the
+// producers' segments".
+func (r *Resource) Waited() int64 { return r.waited }
+
+// Accesses returns the number of charged accesses.
+func (r *Resource) Accesses() int64 { return r.accesses }
+
+// proc is one virtual processor.
+type proc struct {
+	id    int
+	clock int64
+	grant chan struct{}
+	park  chan struct{}
+	done  bool
+}
+
+// Sim is a virtual-time multiprocessor. Create with New, provide one body
+// per processor with Spawn, then call Run.
+type Sim struct {
+	procs   []*proc
+	bodies  []func(*Env)
+	started bool
+}
+
+// New returns a simulator with n virtual processors.
+func New(n int) *Sim {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: %d processors", n))
+	}
+	s := &Sim{
+		procs:  make([]*proc, n),
+		bodies: make([]func(*Env), n),
+	}
+	for i := range s.procs {
+		s.procs[i] = &proc{
+			id:    i,
+			grant: make(chan struct{}),
+			park:  make(chan struct{}),
+		}
+	}
+	return s
+}
+
+// Procs returns the number of virtual processors.
+func (s *Sim) Procs() int { return len(s.procs) }
+
+// Spawn sets the body executed by virtual processor id. The body runs
+// inside the simulation: every Charge call may suspend it while other
+// processors catch up in virtual time.
+func (s *Sim) Spawn(id int, body func(*Env)) {
+	if s.started {
+		panic("sim: Spawn after Run")
+	}
+	s.bodies[id] = body
+}
+
+// Run executes all processor bodies to completion and returns the final
+// virtual time (the makespan: the largest processor clock).
+func (s *Sim) Run() int64 {
+	if s.started {
+		panic("sim: Run called twice")
+	}
+	s.started = true
+	for i, p := range s.procs {
+		body := s.bodies[i]
+		env := &Env{sim: s, p: p}
+		go func(p *proc) {
+			<-p.grant
+			if body != nil {
+				body(env)
+			}
+			p.done = true
+			p.park <- struct{}{}
+		}(p)
+	}
+	for {
+		var next *proc
+		for _, p := range s.procs {
+			if p.done {
+				continue
+			}
+			if next == nil || p.clock < next.clock {
+				next = p
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.grant <- struct{}{}
+		<-next.park
+	}
+	var makespan int64
+	for _, p := range s.procs {
+		if p.clock > makespan {
+			makespan = p.clock
+		}
+	}
+	return makespan
+}
+
+// Env is a virtual processor's interface to the simulation. Each body
+// receives its own Env; it must not be shared across goroutines.
+type Env struct {
+	sim *Sim
+	p   *proc
+}
+
+// ID returns the virtual processor's index.
+func (e *Env) ID() int { return e.p.id }
+
+// Now returns the processor's current virtual time (µs).
+func (e *Env) Now() int64 { return e.p.clock }
+
+// Charge spends cost virtual µs accessing r. If r is busy the processor
+// first waits for it to free (queueing). A nil resource models private
+// computation with no contention. Charge is the scheduling point: the
+// processor may be suspended here while others run.
+func (e *Env) Charge(r *Resource, cost int64) {
+	if cost < 0 {
+		cost = 0
+	}
+	e.yield()
+	p := e.p
+	start := p.clock
+	if r != nil {
+		if r.busyUntil > start {
+			r.waited += r.busyUntil - start
+			start = r.busyUntil
+		}
+		r.accesses++
+	}
+	p.clock = start + cost
+	if r != nil {
+		r.busyUntil = p.clock
+	}
+}
+
+// Compute spends cost virtual µs of private computation.
+func (e *Env) Compute(cost int64) { e.Charge(nil, cost) }
+
+// yield parks the processor until the scheduler grants it the floor
+// (i.e., until it holds the minimum virtual clock).
+func (e *Env) yield() {
+	e.p.park <- struct{}{}
+	<-e.p.grant
+}

@@ -1,0 +1,40 @@
+package ttt
+
+// Game drives a complete self-play game between two depth-limited minimax
+// players, the usage pattern the paper's application embeds in a game
+// loop. It exists for the cmd/tictactoe demo and as an integration check
+// that the engine's values produce legal, terminating play.
+type Game struct {
+	Board  Board
+	ToMove Player
+	Moves  []int
+}
+
+// NewGame returns an empty board with X to move.
+func NewGame() *Game {
+	return &Game{ToMove: X}
+}
+
+// Step plays one move chosen by minimax at the given depth. It returns
+// false when the game is over (win or full board).
+func (g *Game) Step(depth int) bool {
+	if g.Board.Winner() != 0 || g.Board.MoveCount() == Cells {
+		return false
+	}
+	move, _ := BestMove(g.Board, g.ToMove, depth)
+	if move < 0 {
+		return false
+	}
+	g.Board = g.Board.Play(move, g.ToMove)
+	g.Moves = append(g.Moves, move)
+	g.ToMove = g.ToMove.Opponent()
+	return true
+}
+
+// Play runs the game to completion and returns the winner (0 = draw).
+// maxMoves caps runaway games defensively; Cells always suffices.
+func (g *Game) Play(depth, maxMoves int) Player {
+	for i := 0; i < maxMoves && g.Step(depth); i++ {
+	}
+	return g.Board.Winner()
+}

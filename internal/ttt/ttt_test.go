@@ -1,0 +1,383 @@
+package ttt
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pools/internal/baseline"
+	"pools/internal/core"
+	"pools/internal/search"
+)
+
+func TestLineCount(t *testing.T) {
+	masks := LineMasks()
+	if len(masks) != NumLines {
+		t.Fatalf("lines = %d, want %d", len(masks), NumLines)
+	}
+	seen := map[uint64]bool{}
+	for i, m := range masks {
+		if bits.OnesCount64(m) != Size {
+			t.Errorf("line %d has %d cells", i, bits.OnesCount64(m))
+		}
+		if seen[m] {
+			t.Errorf("line %d duplicated", i)
+		}
+		seen[m] = true
+	}
+}
+
+func TestEveryCellOnALine(t *testing.T) {
+	// Each of the 64 cells lies on at least 4 lines in 4x4x4 (3 axis rows
+	// plus diagonals for some cells); at minimum the 3 axis rows.
+	for c := 0; c < Cells; c++ {
+		count := 0
+		for _, m := range LineMasks() {
+			if m&(1<<uint(c)) != 0 {
+				count++
+			}
+		}
+		if count < 3 {
+			t.Errorf("cell %d on only %d lines", c, count)
+		}
+	}
+	// The center-most and corner cells lie on 7 lines each in 4^3.
+	corner := Cell(0, 0, 0)
+	count := 0
+	for _, m := range LineMasks() {
+		if m&(1<<uint(corner)) != 0 {
+			count++
+		}
+	}
+	if count != 7 {
+		t.Errorf("corner cell on %d lines, want 7", count)
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		c := int(raw) % Cells
+		x, y, z := Coords(c)
+		return Cell(x, y, z) == c && x < Size && y < Size && z < Size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlayAndWinnerRow(t *testing.T) {
+	var b Board
+	for i := 0; i < Size; i++ {
+		if b.Winner() != 0 {
+			t.Fatal("premature winner")
+		}
+		b = b.Play(Cell(i, 0, 0), X)
+	}
+	if b.Winner() != X {
+		t.Fatal("X row not detected")
+	}
+}
+
+func TestWinnerSpaceDiagonal(t *testing.T) {
+	var b Board
+	for i := 0; i < Size; i++ {
+		b = b.Play(Cell(i, i, i), O)
+	}
+	if b.Winner() != O {
+		t.Fatal("O space diagonal not detected")
+	}
+}
+
+func TestPlayOccupiedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var b Board
+	b = b.Play(5, X)
+	b.Play(5, O)
+}
+
+func TestMovesEnumeratesFreeCells(t *testing.T) {
+	var b Board
+	if got := len(b.Moves(nil)); got != Cells {
+		t.Fatalf("empty board has %d moves", got)
+	}
+	b = b.Play(0, X)
+	b = b.Play(63, O)
+	moves := b.Moves(nil)
+	if len(moves) != Cells-2 {
+		t.Fatalf("%d moves after 2 plays", len(moves))
+	}
+	for _, m := range moves {
+		if m == 0 || m == 63 {
+			t.Fatal("occupied cell in move list")
+		}
+	}
+}
+
+func TestEvalSymmetric(t *testing.T) {
+	// Swapping X and O negates the evaluation.
+	f := func(xRaw, oRaw uint16) bool {
+		// Build small non-overlapping occupancies.
+		xb := uint64(xRaw)
+		ob := uint64(oRaw) << 16
+		b := Board{XBits: xb, OBits: ob}
+		swapped := Board{XBits: ob, OBits: xb}
+		return b.Eval() == -swapped.Eval()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalEmptyZero(t *testing.T) {
+	var b Board
+	if b.Eval() != 0 {
+		t.Fatalf("empty board eval = %d", b.Eval())
+	}
+	if b.MoveCount() != 0 {
+		t.Fatal("empty board has stones")
+	}
+}
+
+func TestEvalFavorsCenterOpening(t *testing.T) {
+	// An inner cell (on 7 lines incl. diagonals? centers lie on 7) scores
+	// at least as high as an edge-adjacent cell with fewer lines.
+	inner := Board{}.Play(Cell(1, 1, 1), X)
+	edge := Board{}.Play(Cell(1, 0, 0), X)
+	if inner.Eval() < edge.Eval() {
+		t.Fatalf("inner %d < edge %d", inner.Eval(), edge.Eval())
+	}
+}
+
+func TestPositionCount(t *testing.T) {
+	if got := PositionCount(64, 3); got != 249984 {
+		t.Fatalf("PositionCount(64,3) = %d, want 249984 (the paper's figure)", got)
+	}
+	if got := PositionCount(64, 1); got != 64 {
+		t.Fatalf("PositionCount(64,1) = %d", got)
+	}
+	if got := PositionCount(64, 0); got != 1 {
+		t.Fatalf("PositionCount(64,0) = %d", got)
+	}
+}
+
+func TestMinimaxLeafCountsMatchFormula(t *testing.T) {
+	var b Board
+	for depth := 0; depth <= 2; depth++ {
+		_, leaves := Minimax(b, X, depth)
+		if want := PositionCount(Cells, depth); leaves != want {
+			t.Fatalf("depth %d: leaves = %d, want %d", depth, leaves, want)
+		}
+	}
+}
+
+func TestMinimaxDepth1PicksMaxEval(t *testing.T) {
+	var b Board
+	v, _ := Minimax(b, X, 1)
+	best := -1 << 30
+	for _, m := range b.Moves(nil) {
+		if e := b.Play(m, X).Eval(); e > best {
+			best = e
+		}
+	}
+	if v != best {
+		t.Fatalf("minimax depth 1 = %d, want %d", v, best)
+	}
+}
+
+func TestMinimaxDetectsImmediateWin(t *testing.T) {
+	var b Board
+	// X has three in a row; X to move completes it.
+	b = b.Play(Cell(0, 0, 0), X)
+	b = b.Play(Cell(1, 0, 0), X)
+	b = b.Play(Cell(2, 0, 0), X)
+	// Give O some stones elsewhere to keep the position plausible.
+	b = b.Play(Cell(0, 3, 3), O)
+	b = b.Play(Cell(1, 3, 3), O)
+	b = b.Play(Cell(2, 3, 2), O)
+	move, v := BestMove(b, X, 2)
+	if move != Cell(3, 0, 0) {
+		t.Fatalf("BestMove = %d, want %d", move, Cell(3, 0, 0))
+	}
+	if v < WinScore {
+		t.Fatalf("winning value = %d", v)
+	}
+}
+
+func TestBestMoveTerminalBoard(t *testing.T) {
+	var b Board
+	for i := 0; i < Size; i++ {
+		b = b.Play(Cell(i, 0, 0), X)
+	}
+	if move, v := BestMove(b, O, 2); move != -1 || v != WinScore {
+		t.Fatalf("BestMove on won board = (%d,%d)", move, v)
+	}
+}
+
+// chanSource adapts a plain slice for single-threaded engine tests.
+type sliceSource struct{ items []*Node }
+
+func (s *sliceSource) Put(n *Node) { s.items = append(s.items, n) }
+func (s *sliceSource) Get() (*Node, bool) {
+	if len(s.items) == 0 {
+		return nil, false
+	}
+	n := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return n, true
+}
+
+func TestEngineSequentialMatchesMinimax(t *testing.T) {
+	for depth := 1; depth <= 2; depth++ {
+		var b Board
+		src := &sliceSource{}
+		e := NewEngine(b, X, depth, src)
+		for e.Step(src) {
+		}
+		if !e.Done() {
+			t.Fatalf("depth %d: engine not done with empty list", depth)
+		}
+		want, leaves := Minimax(b, X, depth)
+		if e.RootValue() != want {
+			t.Fatalf("depth %d: engine value %d, minimax %d", depth, e.RootValue(), want)
+		}
+		if e.Evaluated() != leaves {
+			t.Fatalf("depth %d: evaluated %d, want %d", depth, e.Evaluated(), leaves)
+		}
+	}
+}
+
+func TestEngineFromMidgamePosition(t *testing.T) {
+	var b Board
+	b = b.Play(5, X)
+	b = b.Play(40, O)
+	b = b.Play(22, X)
+	src := &sliceSource{}
+	e := NewEngine(b, O, 2, src)
+	for e.Step(src) {
+	}
+	want, _ := Minimax(b, O, 2)
+	if e.RootValue() != want {
+		t.Fatalf("engine %d, minimax %d", e.RootValue(), want)
+	}
+}
+
+func TestEngineParallelWithGlobalStack(t *testing.T) {
+	var b Board
+	stack := baseline.NewGlobalStack[*Node]()
+	e := NewEngine(b, X, 2, stack)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !e.Done() {
+				e.Step(stack)
+			}
+		}()
+	}
+	wg.Wait()
+	want, leaves := Minimax(b, X, 2)
+	if e.RootValue() != want {
+		t.Fatalf("parallel value %d, want %d", e.RootValue(), want)
+	}
+	if e.Evaluated() != leaves {
+		t.Fatalf("evaluated %d, want %d", e.Evaluated(), leaves)
+	}
+}
+
+// poolSource adapts a core.Handle to the engine's Source.
+type poolSource struct{ h *core.Handle[*Node] }
+
+func (p poolSource) Put(n *Node)        { p.h.Put(n) }
+func (p poolSource) Get() (*Node, bool) { return p.h.Get() }
+
+func TestEngineParallelWithConcurrentPool(t *testing.T) {
+	for _, kind := range search.Kinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			var b Board
+			pool, err := core.New[*Node](core.Options{Segments: 4, Search: kind, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				pool.Handle(i).Register()
+			}
+			e := NewEngine(b, X, 2, poolSource{pool.Handle(0)})
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					src := poolSource{pool.Handle(id)}
+					for !e.Done() {
+						e.Step(src)
+					}
+					pool.Handle(id).Close()
+				}(w)
+			}
+			wg.Wait()
+			want, leaves := Minimax(b, X, 2)
+			if e.RootValue() != want {
+				t.Fatalf("parallel pool value %d, want %d", e.RootValue(), want)
+			}
+			if e.Evaluated() != leaves {
+				t.Fatalf("evaluated %d, want %d", e.Evaluated(), leaves)
+			}
+		})
+	}
+}
+
+func TestNodeApplyChildMinNode(t *testing.T) {
+	n := newNode(Board{}, O, 1, nil) // O to move: min node
+	n.applyChild(5)
+	n.applyChild(-3)
+	n.applyChild(10)
+	if n.Value() != -3 {
+		t.Fatalf("min node value = %d, want -3", n.Value())
+	}
+	m := newNode(Board{}, X, 1, nil)
+	m.applyChild(5)
+	m.applyChild(-3)
+	if m.Value() != 5 {
+		t.Fatalf("max node value = %d, want 5", m.Value())
+	}
+}
+
+func TestPlayerHelpers(t *testing.T) {
+	if X.Opponent() != O || O.Opponent() != X {
+		t.Fatal("Opponent wrong")
+	}
+	if X.String() != "X" || O.String() != "O" || Player(0).String() != "?" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestBoardString(t *testing.T) {
+	var b Board
+	b = b.Play(Cell(0, 0, 0), X)
+	b = b.Play(Cell(1, 0, 0), O)
+	s := b.String()
+	if len(s) == 0 || s[len("z=0\n")] != 'X' {
+		t.Fatalf("render wrong:\n%s", s)
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	board := Board{XBits: 0x0123456789abcdef & 0xaaaa, OBits: 0x5555}
+	for i := 0; i < b.N; i++ {
+		board.Eval()
+	}
+}
+
+func BenchmarkMinimaxDepth2(b *testing.B) {
+	var board Board
+	for i := 0; i < b.N; i++ {
+		Minimax(board, X, 2)
+	}
+}

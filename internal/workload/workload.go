@@ -1,0 +1,276 @@
+// Package workload generates the operation patterns of Section 3.3:
+//
+//   - the random operations model, where every process draws each
+//     operation from the same add/remove job mix (swept 0%..100% adds in
+//     10% steps; mixes below 50% adds are "sparse", at or above 50%
+//     "sufficient");
+//   - the producer/consumer model, where a fixed subset of processes only
+//     add and the rest only remove, with the producers arranged either
+//     contiguously (the paper's default, which causes consumer "bunching")
+//     or balanced (spread evenly, Section 4.2's fix);
+//   - the dynamic-roles extension (Section 3.3 notes that "in many real
+//     systems, the identity of the processes acting as producers may
+//     change dynamically over time").
+//
+// The experiment protocol constants (5000 operations against a pool seeded
+// with 320 elements on 16 processors, averaged over 10 trials) also live
+// here so the harness, simulator, and benchmarks agree.
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pools/internal/metrics"
+	"pools/internal/rng"
+)
+
+// Paper protocol constants (Section 3.1 and 3.4).
+const (
+	// PaperProcs is the pool size: "We have experimented with 16-processor
+	// pools ... with one segment and one process on each processor."
+	PaperProcs = 16
+	// PaperTotalOps is the shared operation budget: "5000 operations were
+	// performed ...".
+	PaperTotalOps = 5000
+	// PaperInitialElements seeds the pool: "... on a pool initialized with
+	// only 320 elements."
+	PaperInitialElements = 320
+	// PaperTrials is the number of averaged repetitions: "For each
+	// workload, ten trials were performed."
+	PaperTrials = 10
+)
+
+// Model selects the operation pattern.
+type Model int
+
+// The two workload models of Section 3.3.
+const (
+	RandomOps Model = iota + 1
+	ProducerConsumer
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case RandomOps:
+		return "random-ops"
+	case ProducerConsumer:
+		return "producer-consumer"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Arrangement selects how producer roles map onto processors.
+type Arrangement int
+
+// Producer arrangements (Section 4.2).
+const (
+	// Contiguous assigns producers to processors 0..k-1, the arrangement
+	// that causes consumer bunching.
+	Contiguous Arrangement = iota + 1
+	// Balanced spreads the k producers evenly around the ring
+	// (processors floor(i*P/k)), the fix evaluated in Figures 4 and 6.
+	Balanced
+)
+
+// String names the arrangement.
+func (a Arrangement) String() string {
+	switch a {
+	case Contiguous:
+		return "contiguous"
+	case Balanced:
+		return "balanced"
+	default:
+		return fmt.Sprintf("Arrangement(%d)", int(a))
+	}
+}
+
+// Config describes one workload.
+type Config struct {
+	Procs int   // number of processes (= segments)
+	Model Model // operation pattern
+
+	// AddFraction is the job mix for RandomOps: the probability that an
+	// operation is an add.
+	AddFraction float64
+
+	// Producers and Arrangement configure ProducerConsumer.
+	Producers   int
+	Arrangement Arrangement
+
+	// RoleFlipEvery, when positive under ProducerConsumer, rotates the
+	// producer set by one position after every RoleFlipEvery operations a
+	// process performs — the dynamic-roles extension.
+	RoleFlipEvery int
+
+	TotalOps        int // shared operation budget (PaperTotalOps)
+	InitialElements int // pool seed (PaperInitialElements)
+}
+
+// Paper returns the paper's base configuration for the given model.
+func Paper(model Model) Config {
+	return Config{
+		Procs:           PaperProcs,
+		Model:           model,
+		Arrangement:     Contiguous,
+		TotalOps:        PaperTotalOps,
+		InitialElements: PaperInitialElements,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("workload: Procs = %d, need >= 1", c.Procs)
+	}
+	switch c.Model {
+	case RandomOps:
+		if c.AddFraction < 0 || c.AddFraction > 1 {
+			return fmt.Errorf("workload: AddFraction = %v, need [0,1]", c.AddFraction)
+		}
+	case ProducerConsumer:
+		if c.Producers < 0 || c.Producers > c.Procs {
+			return fmt.Errorf("workload: Producers = %d, need [0,%d]", c.Producers, c.Procs)
+		}
+		switch c.Arrangement {
+		case Contiguous, Balanced:
+		default:
+			return fmt.Errorf("workload: unknown arrangement %d", int(c.Arrangement))
+		}
+	default:
+		return fmt.Errorf("workload: unknown model %d", int(c.Model))
+	}
+	if c.TotalOps < 0 || c.InitialElements < 0 {
+		return fmt.Errorf("workload: negative budget (ops=%d, seed=%d)", c.TotalOps, c.InitialElements)
+	}
+	return nil
+}
+
+// ProducerPositions returns the processor indices holding producer roles.
+func ProducerPositions(procs, producers int, arr Arrangement) []int {
+	pos := make([]int, 0, producers)
+	switch arr {
+	case Balanced:
+		for i := 0; i < producers; i++ {
+			pos = append(pos, i*procs/producers)
+		}
+	default: // Contiguous
+		for i := 0; i < producers; i++ {
+			pos = append(pos, i)
+		}
+	}
+	return pos
+}
+
+// IsProducer reports whether processor proc holds a producer role under
+// the configuration (ProducerConsumer model only).
+func (c Config) IsProducer(proc int) bool {
+	for _, p := range ProducerPositions(c.Procs, c.Producers, c.Arrangement) {
+		if p == proc {
+			return true
+		}
+	}
+	return false
+}
+
+// Chooser draws the next operation for one process. It is not safe for
+// concurrent use; each process owns one.
+type Chooser struct {
+	cfg      Config
+	proc     int
+	rng      *rng.Xoshiro256
+	producer bool
+	ops      int
+	rotation int
+}
+
+// NewChooser returns the operation chooser for processor proc, seeded
+// deterministically from the trial seed.
+func NewChooser(cfg Config, proc int, trialSeed uint64) *Chooser {
+	return &Chooser{
+		cfg:      cfg,
+		proc:     proc,
+		rng:      rng.NewXoshiro256(rng.SubSeed(trialSeed, proc)),
+		producer: cfg.Model == ProducerConsumer && cfg.IsProducer(proc),
+	}
+}
+
+// Next returns the next operation kind for this process.
+func (ch *Chooser) Next() metrics.OpKind {
+	ch.ops++
+	switch ch.cfg.Model {
+	case ProducerConsumer:
+		producer := ch.producer
+		if ch.cfg.RoleFlipEvery > 0 {
+			// Rotate the producer set by one position per flip interval.
+			rot := ch.ops / ch.cfg.RoleFlipEvery
+			shifted := (ch.proc - rot) % ch.cfg.Procs
+			if shifted < 0 {
+				shifted += ch.cfg.Procs
+			}
+			producer = ch.cfg.IsProducer(shifted)
+		}
+		if producer {
+			return metrics.OpAdd
+		}
+		return metrics.OpRemove
+	default: // RandomOps
+		if ch.rng.Bool(ch.cfg.AddFraction) {
+			return metrics.OpAdd
+		}
+		return metrics.OpRemove
+	}
+}
+
+// Budget is the shared operation counter implementing the paper's stopping
+// rule: "the processes performed operations until the combined total
+// number of operations reached the desired amount." It is safe for
+// concurrent use.
+type Budget struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewBudget returns a budget of n operations.
+func NewBudget(n int) *Budget {
+	b := &Budget{limit: int64(n)}
+	return b
+}
+
+// TryClaim consumes one operation from the budget, reporting false when
+// the budget is exhausted.
+func (b *Budget) TryClaim() bool {
+	if b.used.Add(1) > b.limit {
+		b.used.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Used returns the number of operations claimed so far.
+func (b *Budget) Used() int { return int(b.used.Load()) }
+
+// Exhausted reports whether no operations remain.
+func (b *Budget) Exhausted() bool { return b.used.Load() >= b.limit }
+
+// MixSweep returns the job-mix values of the paper's random-ops sweep:
+// 0%, 10%, ..., 100% adds.
+func MixSweep() []float64 {
+	out := make([]float64, 0, 11)
+	for i := 0; i <= 10; i++ {
+		out = append(out, float64(i)/10)
+	}
+	return out
+}
+
+// ProducerSweep returns the producer counts of the paper's
+// producer/consumer sweep: 0..procs.
+func ProducerSweep(procs int) []int {
+	out := make([]int, 0, procs+1)
+	for i := 0; i <= procs; i++ {
+		out = append(out, i)
+	}
+	return out
+}

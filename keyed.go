@@ -1,0 +1,21 @@
+package pools
+
+import "pools/internal/keyed"
+
+// KeyedPool extends the concurrent pool to distinguishable elements — the
+// paper's second Section 5 open question. Elements carry a comparable key
+// class; removals may request a specific class (Get) or any class
+// (GetAny). Locality and steal-half behaviour match the plain pool; see
+// the internal/keyed package documentation for the emptiness semantics.
+type KeyedPool[K comparable, V any] = keyed.Pool[K, V]
+
+// KeyedHandle is one process's attachment to a KeyedPool segment.
+type KeyedHandle[K comparable, V any] = keyed.Handle[K, V]
+
+// KeyedOptions configures a KeyedPool.
+type KeyedOptions = keyed.Options
+
+// NewKeyed creates a keyed pool.
+func NewKeyed[K comparable, V any](opts KeyedOptions) (*KeyedPool[K, V], error) {
+	return keyed.New[K, V](opts)
+}

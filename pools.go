@@ -1,0 +1,72 @@
+// Package pools implements concurrent pools: unordered collections
+// partitioned into per-process segments so that most operations touch
+// only local state, with remote steal-half searches when a local segment
+// runs dry. It is a full reproduction of the data structure evaluated in
+//
+//	David Kotz and Carla Schlatter Ellis, "Evaluation of Concurrent
+//	Pools", Proc. 9th International Conference on Distributed Computing
+//	Systems (ICDCS), 1989.
+//
+// Three steal-search algorithms are provided: Manber's tree search with
+// round counters, linear (ring) search, and random search. The pool is a
+// natural work list for dynamically created tasks — the paper's
+// application study schedules a parallel game-tree search with one.
+//
+// # Quickstart
+//
+//	p, err := pools.New[Task](pools.Options{Segments: 8, Search: pools.SearchLinear})
+//	if err != nil { ... }
+//	h := p.Handle(workerID) // each worker owns one segment
+//	h.Put(task)             // O(1), local
+//	task, ok := h.Get()     // local pop, or steal half of a remote segment
+//
+// Get returns ok=false only when the pool is empty and no registered
+// participant could be adding (the paper's livelock rule plus a staleness
+// backstop), or the pool/handle is closed.
+//
+// The packages under internal/ hold the implementation, the simulated
+// 16-processor Butterfly used to reproduce the paper's measurements, the
+// experiment harness (cmd/poolbench regenerates every table and figure),
+// and the tic-tac-toe application study (cmd/tictactoe).
+package pools
+
+import (
+	"pools/internal/core"
+	"pools/internal/search"
+)
+
+// Pool is a concurrent pool of T. See core.Pool.
+type Pool[T any] = core.Pool[T]
+
+// Handle is one process's attachment to a pool segment. See core.Handle.
+type Handle[T any] = core.Handle[T]
+
+// Options configures a Pool. See core.Options.
+type Options = core.Options
+
+// StealPolicy selects how many elements a steal transfers.
+type StealPolicy = core.StealPolicy
+
+// Steal policies: the paper's steal-half, and steal-one for comparison.
+const (
+	StealHalf = core.StealHalf
+	StealOne  = core.StealOne
+)
+
+// SearchKind selects the steal-search algorithm.
+type SearchKind = search.Kind
+
+// The three search algorithms the paper evaluates.
+const (
+	SearchLinear = search.Linear
+	SearchRandom = search.Random
+	SearchTree   = search.Tree
+)
+
+// ErrBadOptions is returned by New for invalid configuration.
+var ErrBadOptions = core.ErrBadOptions
+
+// New creates a pool with the given options.
+func New[T any](opts Options) (*Pool[T], error) {
+	return core.New[T](opts)
+}

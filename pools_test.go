@@ -1,0 +1,118 @@
+package pools_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pools"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	p, err := pools.New[string](pools.Options{Segments: 4, Search: pools.SearchLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Handle(0)
+	h.Put("a")
+	h.Put("b")
+	if v, ok := h.Get(); !ok || v != "b" {
+		t.Fatalf("Get = (%q,%v)", v, ok)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestPublicAPIAllSearchKinds(t *testing.T) {
+	for _, kind := range []pools.SearchKind{pools.SearchLinear, pools.SearchRandom, pools.SearchTree} {
+		p, err := pools.New[int](pools.Options{Segments: 8, Search: kind, Seed: 42})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		producer := p.Handle(7)
+		for i := 0; i < 16; i++ {
+			producer.Put(i)
+		}
+		consumer := p.Handle(0)
+		got := 0
+		for {
+			if _, ok := consumer.Get(); !ok {
+				break
+			}
+			got++
+		}
+		// The consumer steals everything the producer left behind.
+		if got != 16 {
+			t.Fatalf("%v: consumed %d, want 16", kind, got)
+		}
+	}
+}
+
+func TestPublicAPIBadOptions(t *testing.T) {
+	if _, err := pools.New[int](pools.Options{}); !errors.Is(err, pools.ErrBadOptions) {
+		t.Fatalf("err = %v, want ErrBadOptions", err)
+	}
+}
+
+func TestPublicAPIStealPolicies(t *testing.T) {
+	if pools.StealHalf.String() != "steal-half" || pools.StealOne.String() != "steal-one" {
+		t.Fatal("policy aliases broken")
+	}
+}
+
+func TestPublicAPIConcurrentWorkers(t *testing.T) {
+	const workers = 4
+	p, err := pools.New[int](pools.Options{Segments: workers, Search: pools.SearchTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		p.Handle(i).Register()
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := p.Handle(id)
+			for i := 0; i < 500; i++ {
+				h.Put(i)
+			}
+			count := 0
+			for {
+				if _, ok := h.Get(); !ok {
+					break
+				}
+				count++
+			}
+			h.Close()
+			mu.Lock()
+			total += count
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	total += p.Len()
+	if total != workers*500 {
+		t.Fatalf("conservation broken: %d of %d accounted", total, workers*500)
+	}
+}
+
+func TestPublicKeyedAPI(t *testing.T) {
+	p, err := pools.NewKeyed[string, int](pools.KeyedOptions{Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Handle(0)
+	h.Put("red", 1)
+	p.Handle(2).Put("blue", 9)
+	if v, ok := h.Get("blue"); !ok || v != 9 {
+		t.Fatalf("keyed steal = (%d,%v)", v, ok)
+	}
+	if k, v, ok := h.GetAny(); !ok || k != "red" || v != 1 {
+		t.Fatalf("GetAny = (%s,%d,%v)", k, v, ok)
+	}
+}
