@@ -1,0 +1,27 @@
+# Local dev and CI run the identical commands: .github/workflows/ci.yml
+# invokes these targets, so a green `make ci` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: build test race fuzz-smoke bench-smoke vet ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDequeScript -fuzztime=10s ./internal/segment
+	$(GO) test -run='^$$' -fuzz=FuzzBoardScript -fuzztime=10s ./internal/ttt
+
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+ci: build vet test race fuzz-smoke bench-smoke

@@ -8,6 +8,7 @@
 package pools_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -162,6 +163,103 @@ func BenchmarkPoolLocalPutGet(b *testing.B) {
 				h.Get()
 			}
 		})
+	}
+}
+
+// BenchmarkBatchPutGet compares the batch operations against an
+// equivalent loop of single-element operations on the same workload: move
+// `batch` elements into the local segment and back out. At batch >= 8 the
+// one-lock batch path must win — the amortization the tentpole claims.
+func BenchmarkBatchPutGet(b *testing.B) {
+	for _, batch := range []int{1, 8, 64, 512} {
+		items := make([]int, batch)
+		b.Run(fmt.Sprintf("loop-%d", batch), func(b *testing.B) {
+			p, err := pools.New[int](pools.Options{Segments: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := p.Handle(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, v := range items {
+					h.Put(v)
+				}
+				for j := 0; j < batch; j++ {
+					h.Get()
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/element")
+		})
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			p, err := pools.New[int](pools.Options{Segments: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := p.Handle(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.PutAll(items)
+				h.GetN(batch)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/element")
+		})
+	}
+}
+
+// BenchmarkBatchSteal measures GetN across the steal path: the consumer's
+// segment is always dry, so every batch surfaces a steal-half transfer,
+// versus draining the same transfer one Get at a time.
+func BenchmarkBatchSteal(b *testing.B) {
+	const batch = 16
+	items := make([]int, 2*batch)
+	b.Run("loop", func(b *testing.B) {
+		p, err := pools.New[int](pools.Options{Segments: 16, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		producer := p.Handle(9)
+		consumer := p.Handle(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			producer.PutAll(items)
+			for j := 0; j < 2*batch; j++ {
+				if _, ok := consumer.Get(); !ok {
+					b.Fatal("get failed")
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		p, err := pools.New[int](pools.Options{Segments: 16, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		producer := p.Handle(9)
+		consumer := p.Handle(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			producer.PutAll(items)
+			drained := 0
+			for drained < 2*batch {
+				out := consumer.GetN(2 * batch)
+				if len(out) == 0 {
+					b.Fatal("GetN failed")
+				}
+				drained += len(out)
+			}
+		}
+	})
+}
+
+// BenchmarkBurstSim regenerates the burst sweep's endpoints on the
+// simulated Butterfly and reports the per-element amortization ratio.
+func BenchmarkBurstSim(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 1
+	for i := 0; i < b.N; i++ {
+		rows := harness.BurstSweep(cfg, search.Tree, 5, []int{1, 16})
+		b.ReportMetric(rows[0].Point.PerElementTime, "batch1-us/elem")
+		b.ReportMetric(rows[1].Point.PerElementTime, "batch16-us/elem")
 	}
 }
 

@@ -9,7 +9,7 @@
 //	poolbench -exp app -depth 2         # smaller game tree
 //
 // Experiments: fig2, fig3, fig4, fig5, fig6, fig7, algos, arrange, delay,
-// steal, app, all.
+// steal, roles, burst, app, all.
 package main
 
 import (
@@ -33,14 +33,14 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("poolbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|app|all")
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|app|all")
 	trials := fs.Int("trials", workload.PaperTrials, "trials averaged per data point")
 	seed := fs.Uint64("seed", 1989, "master seed")
 	ops := fs.Int("ops", workload.PaperTotalOps, "operations per trial")
 	fill := fs.Int("fill", workload.PaperInitialElements, "initial pool elements")
 	procs := fs.Int("procs", workload.PaperProcs, "processors/segments")
 	depth := fs.Int("depth", 3, "tic-tac-toe expansion depth (3 = paper's 249,984 positions)")
-	csv := fs.Bool("csv", false, "append machine-readable CSV for fig2 and fig7")
+	csv := fs.Bool("csv", false, "append machine-readable CSV for fig2, fig7, and burst")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,15 +54,7 @@ func run(args []string, out io.Writer) error {
 		}
 		ran = true
 		fmt.Fprintf(out, "## %s — %s\n\n", e.name, e.title)
-		fmt.Fprintln(out, e.run(cfg, *depth))
-		if *csv {
-			switch e.name {
-			case "fig2":
-				fmt.Fprintln(out, harness.Fig2(cfg).CSV())
-			case "fig7":
-				fmt.Fprintln(out, harness.Fig7(cfg).CSV())
-			}
-		}
+		fmt.Fprintln(out, e.run(cfg, *depth, *csv))
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
@@ -73,32 +65,42 @@ func run(args []string, out io.Writer) error {
 type experiment struct {
 	name  string
 	title string
-	run   func(cfg harness.Config, depth int) string
+	// run renders the experiment; with csv set, experiments that have a
+	// machine-readable form append it (computing the sweep only once).
+	run func(cfg harness.Config, depth int, csv bool) string
 }
 
 var experiments = []experiment{
-	{"fig2", "average operation time vs job mix (tree search)", func(cfg harness.Config, _ int) string {
-		return harness.Fig2(cfg).Render()
+	{"fig2", "average operation time vs job mix (tree search)", func(cfg harness.Config, _ int, csv bool) string {
+		r := harness.Fig2(cfg)
+		if csv {
+			return r.Render() + "\n" + r.CSV()
+		}
+		return r.Render()
 	}},
-	{"fig3", "segment sizes over time: linear search, contiguous producers", func(cfg harness.Config, _ int) string {
+	{"fig3", "segment sizes over time: linear search, contiguous producers", func(cfg harness.Config, _ int, _ bool) string {
 		return harness.FigTrace(cfg, "Figure 3", search.Linear, workload.Contiguous, 5).Render()
 	}},
-	{"fig4", "segment sizes over time: linear search, balanced producers", func(cfg harness.Config, _ int) string {
+	{"fig4", "segment sizes over time: linear search, balanced producers", func(cfg harness.Config, _ int, _ bool) string {
 		return harness.FigTrace(cfg, "Figure 4", search.Linear, workload.Balanced, 5).Render()
 	}},
-	{"fig5", "segment sizes over time: tree search, contiguous producers", func(cfg harness.Config, _ int) string {
+	{"fig5", "segment sizes over time: tree search, contiguous producers", func(cfg harness.Config, _ int, _ bool) string {
 		return harness.FigTrace(cfg, "Figure 5", search.Tree, workload.Contiguous, 5).Render()
 	}},
-	{"fig6", "segment sizes over time: tree search, balanced producers", func(cfg harness.Config, _ int) string {
+	{"fig6", "segment sizes over time: tree search, balanced producers", func(cfg harness.Config, _ int, _ bool) string {
 		return harness.FigTrace(cfg, "Figure 6", search.Tree, workload.Balanced, 5).Render()
 	}},
-	{"fig7", "elements stolen per steal vs producers (tree search, errata orientation)", func(cfg harness.Config, _ int) string {
-		return harness.Fig7(cfg).Render()
+	{"fig7", "elements stolen per steal vs producers (tree search, errata orientation)", func(cfg harness.Config, _ int, csv bool) string {
+		r := harness.Fig7(cfg)
+		if csv {
+			return r.Render() + "\n" + r.CSV()
+		}
+		return r.Render()
 	}},
-	{"algos", "Section 4.3 algorithm comparison", func(cfg harness.Config, _ int) string {
+	{"algos", "Section 4.3 algorithm comparison", func(cfg harness.Config, _ int, _ bool) string {
 		return harness.RenderAlgoCompare(harness.AlgoCompare(cfg))
 	}},
-	{"arrange", "Section 4.2 contiguous vs balanced producers", func(cfg harness.Config, _ int) string {
+	{"arrange", "Section 4.2 contiguous vs balanced producers", func(cfg harness.Config, _ int, _ bool) string {
 		var b strings.Builder
 		for _, kind := range search.Kinds() {
 			b.WriteString(harness.RenderArrangement(harness.ArrangementCompare(cfg, kind, 5)))
@@ -106,16 +108,23 @@ var experiments = []experiment{
 		}
 		return b.String()
 	}},
-	{"delay", "Section 4.3 remote-delay sweep", func(cfg harness.Config, _ int) string {
+	{"delay", "Section 4.3 remote-delay sweep", func(cfg harness.Config, _ int, _ bool) string {
 		return harness.RenderDelaySweep(harness.DelaySweep(cfg))
 	}},
-	{"steal", "steal-half vs steal-one ablation", func(cfg harness.Config, _ int) string {
+	{"steal", "steal-half vs steal-one ablation", func(cfg harness.Config, _ int, _ bool) string {
 		return harness.RenderStealPolicy(harness.StealPolicyAblation(cfg))
 	}},
-	{"roles", "dynamic producer roles extension (Section 3.3)", func(cfg harness.Config, _ int) string {
+	{"roles", "dynamic producer roles extension (Section 3.3)", func(cfg harness.Config, _ int, _ bool) string {
 		return harness.RenderDynamicRoles(harness.DynamicRoles(cfg))
 	}},
-	{"app", "Section 4.4 tic-tac-toe work-list comparison", func(cfg harness.Config, depth int) string {
+	{"burst", "batch operations: per-element time vs batch size (burst workload)", func(cfg harness.Config, _ int, csv bool) string {
+		rows := harness.BurstSweep(cfg, search.Tree, 5, harness.BurstBatchSweep())
+		if csv {
+			return harness.RenderBurst(search.Tree, rows) + "\n" + harness.BurstCSV(rows)
+		}
+		return harness.RenderBurst(search.Tree, rows)
+	}},
+	{"app", "Section 4.4 tic-tac-toe work-list comparison", func(cfg harness.Config, depth int, _ bool) string {
 		rows := harness.App(cfg, harness.DefaultAppCosts(), depth,
 			[]int{1, 2, 4, 8, 16}, harness.AppImpls())
 		return harness.RenderApp(rows)

@@ -64,3 +64,17 @@ func TestRunCSVOutput(t *testing.T) {
 		t.Errorf("CSV block missing:\n%s", out.String())
 	}
 }
+
+func TestRunBurstExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "burst", "-trials", "1", "-ops", "800", "-fill", "64", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"## burst", "batch size", "µs/element", "batch,per_element_us"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("burst output missing %q", want)
+		}
+	}
+}

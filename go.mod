@@ -1,0 +1,3 @@
+module pools
+
+go 1.24

@@ -102,6 +102,46 @@ func (h *Handle[T]) Put(v T) {
 	}
 }
 
+// PutAll adds every element of items to the local segment under a single
+// lock acquisition, amortizing the lock (and any NUMA add delay) over the
+// whole batch. With DirectedAdds enabled, leading elements are gifted to
+// hungry searchers first — a batch arrival can feed several starving
+// consumers — and only the remainder takes the segment lock. PutAll of an
+// empty slice is a no-op. The items slice is not retained.
+func (h *Handle[T]) PutAll(items []T) {
+	if len(items) == 0 {
+		return
+	}
+	h.Register()
+	p := h.pool
+	start := h.now()
+	gifted := 0
+	if p.opts.DirectedAdds {
+		for gifted < len(items) && p.directPut(h.id, items[gifted]) {
+			gifted++
+		}
+		if p.opts.CollectStats {
+			h.stats.DirectedGives += int64(gifted)
+		}
+		if gifted == len(items) {
+			p.version.Add(1)
+			if p.opts.CollectStats {
+				h.stats.RecordBatchAdd(sinceMicros(start), gifted)
+			}
+			return
+		}
+	}
+	p.opts.Delay.Delay(numa.AccessAdd, h.id, h.id)
+	s := &p.segs[h.id]
+	s.mu.Lock()
+	s.dq.AddAll(items[gifted:])
+	s.mu.Unlock()
+	p.version.Add(1)
+	if p.opts.CollectStats {
+		h.stats.RecordBatchAdd(sinceMicros(start), len(items))
+	}
+}
+
 // TryPut adds an element respecting Options.SegmentCap: if the local
 // segment is full it walks the ring for a segment with spare capacity (the
 // paper's symmetric remote-add footnote) and reports whether the element
@@ -179,33 +219,16 @@ func (h *Handle[T]) Get() (T, bool) {
 		return v, true
 	}
 
-	// Slow path: search and steal. TrySteal reserves one element under
-	// the segment lock, so a successful search cannot lose its element to
-	// a competing thief. With directed adds enabled the search also
-	// watches this handle's mailbox (via Aborted) for a gift.
+	// Slow path: search and steal.
 	searchStart := h.now()
-	h.world.beginSearch()
-	p.lookers.Add(1)
-	if p.boxes != nil {
-		p.boxes[h.id].hungry.Store(true)
-	}
-	res := h.searcher.Search(&h.world)
-	if p.boxes != nil {
-		p.boxes[h.id].hungry.Store(false)
-	}
-	p.lookers.Add(-1)
-
-	if res.Got == 0 {
-		// An abort may have been triggered by a gift landing in the
-		// mailbox; a gift may also have raced with a genuine abort.
-		if p.boxes != nil {
-			if v, ok := p.boxes[h.id].tryTake(); ok {
-				if p.opts.CollectStats {
-					h.stats.DirectedReceives++
-					h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, 1)
-				}
-				return v, true
+	res, gift, gotGift, stole := h.searchSteal()
+	if !stole {
+		if gotGift {
+			if p.opts.CollectStats {
+				h.stats.DirectedReceives++
+				h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, 1)
 			}
+			return gift, true
 		}
 		if p.opts.CollectStats {
 			h.stats.RecordAbort(sinceMicros(start))
@@ -217,6 +240,98 @@ func (h *Handle[T]) Get() (T, bool) {
 		h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, res.Got)
 	}
 	return v, true
+}
+
+// searchSteal is the slow path shared by Get and GetN: enter the search,
+// maintaining the lookers count and (with directed adds) the hunger flag,
+// and resolve the gift race on abort. TrySteal reserves one element under
+// the segment lock, so a successful search cannot lose its element to a
+// competing thief; on stole=true the remaining res.Got-1 stolen elements
+// sit in the local segment with the reserved one in h.world. On
+// stole=false, gotGift reports whether a directed add landed in the
+// mailbox instead (a gift may race with a genuine abort); otherwise the
+// operation aborted empty-handed.
+func (h *Handle[T]) searchSteal() (res search.Result, gift T, gotGift, stole bool) {
+	p := h.pool
+	h.world.beginSearch()
+	p.lookers.Add(1)
+	if p.boxes != nil {
+		p.boxes[h.id].hungry.Store(true)
+	}
+	res = h.searcher.Search(&h.world)
+	if p.boxes != nil {
+		p.boxes[h.id].hungry.Store(false)
+	}
+	p.lookers.Add(-1)
+	if res.Got > 0 {
+		return res, gift, false, true
+	}
+	if p.boxes != nil {
+		gift, gotGift = p.boxes[h.id].tryTake()
+	}
+	return res, gift, gotGift, false
+}
+
+// GetN removes up to max elements from the pool in one operation. The
+// local fast path drains the segment under a single lock acquisition; on a
+// dry local segment it searches and steals exactly like Get — a successful
+// steal-half already lands a batch in the local segment, and GetN surfaces
+// that batch instead of returning one element and re-locking for the rest.
+// It returns nil under the same conditions Get returns ok=false: pool or
+// handle closed, or the abort rule certified emptiness.
+func (h *Handle[T]) GetN(max int) []T {
+	if max <= 0 {
+		return nil
+	}
+	p := h.pool
+	if h.closed || p.closed.Load() {
+		return nil
+	}
+	h.Register()
+	start := h.now()
+
+	// Fast path: drain the local segment under one lock.
+	p.opts.Delay.Delay(numa.AccessRemove, h.id, h.id)
+	s := &p.segs[h.id]
+	s.mu.Lock()
+	out := s.dq.RemoveN(max)
+	s.mu.Unlock()
+	if len(out) > 0 {
+		if p.opts.CollectStats {
+			h.stats.RecordBatchLocalRemove(sinceMicros(start), len(out))
+		}
+		return out
+	}
+
+	// Slow path: search and steal, exactly as Get.
+	searchStart := h.now()
+	res, gift, gotGift, stole := h.searchSteal()
+	if !stole {
+		if gotGift {
+			if p.opts.CollectStats {
+				h.stats.DirectedReceives++
+				h.stats.RecordBatchStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, 1, 1)
+			}
+			return []T{gift}
+		}
+		if p.opts.CollectStats {
+			h.stats.RecordAbort(sinceMicros(start))
+		}
+		return nil
+	}
+	// The steal moved res.Got elements into the local segment and reserved
+	// one; collect the reserved element plus up to max-1 more in one lock.
+	out = make([]T, 1, max)
+	out[0] = h.world.takeReserved()
+	if max > 1 {
+		s.mu.Lock()
+		out = append(out, s.dq.RemoveN(max-1)...)
+		s.mu.Unlock()
+	}
+	if p.opts.CollectStats {
+		h.stats.RecordBatchStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, res.Got, len(out))
+	}
+	return out
 }
 
 // world adapts a Handle to search.World / search.TreeWorld.

@@ -67,6 +67,7 @@ type Point struct {
 	X float64 // sweep coordinate (job mix %, producer count, delay ...)
 
 	AvgOpTime        float64 // µs, over adds + removes + aborts (Figure 2)
+	PerElementTime   float64 // µs per element moved (AvgOpTime under batching)
 	AvgAddTime       float64 // µs
 	AvgRemoveTime    float64 // µs
 	SegmentsExamined float64 // per steal
@@ -87,15 +88,17 @@ func (c Config) average(x float64, run func(trialSeed uint64) sim.RunResult) Poi
 		res := run(rng.SubSeed(c.Seed, trial))
 		st := res.Stats
 		pt.AvgOpTime += st.AvgOpTime() / n
+		pt.PerElementTime += st.AvgTimePerElement() / n
 		pt.AvgAddTime += st.AddTime.Mean() / n
 		pt.AvgRemoveTime += st.RemoveTime.Mean() / n
 		pt.SegmentsExamined += st.SegmentsExamined.Mean() / n
 		pt.ElementsStolen += st.ElementsStolen.Mean() / n
 		pt.StealFraction += st.StealFraction() / n
-		totalOps := float64(st.Ops() + st.Aborts)
-		if totalOps > 0 {
-			pt.StealsPerOp += float64(st.Steals) / totalOps / n
-			pt.AbortsPerOp += float64(st.Aborts) / totalOps / n
+		// Per-operation rates: one batch PutAll/GetN is one operation,
+		// so these stay comparable between batched and single-element runs.
+		if ops := float64(st.OpCount()); ops > 0 {
+			pt.StealsPerOp += float64(st.Steals) / ops / n
+			pt.AbortsPerOp += float64(st.Aborts) / ops / n
 		}
 		pt.MixAchieved += st.MixAchieved() / n
 		pt.MakespanMean += float64(res.Makespan) / n

@@ -72,6 +72,27 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 			defer wg.Done()
 			h := p.Handle(id)
 			ch := workload.NewChooser(wl, id, cfg.Seed)
+			if wl.Model == workload.Burst {
+				batch := make([]int, wl.BatchSize)
+				for {
+					take := budget.TryClaimN(wl.BatchSize)
+					if take == 0 {
+						break
+					}
+					if ch.Next() == metrics.OpAdd {
+						h.PutAll(batch[:take])
+					} else {
+						consumed := len(h.GetN(take))
+						if consumed == 0 {
+							consumed = 1 // an abort costs one unit
+						}
+						budget.Refund(take - consumed)
+					}
+					runtime.Gosched()
+				}
+				h.Close()
+				return
+			}
 			for budget.TryClaim() {
 				if ch.Next() == metrics.OpAdd {
 					h.Put(0)
@@ -120,9 +141,8 @@ func RealCompare(wl workload.Config, trials int, seed uint64) (map[search.Kind]P
 			pt.SegmentsExamined += st.SegmentsExamined.Mean() / n
 			pt.ElementsStolen += st.ElementsStolen.Mean() / n
 			pt.StealFraction += st.StealFraction() / n
-			totalOps := float64(st.Ops() + st.Aborts)
-			if totalOps > 0 {
-				pt.StealsPerOp += float64(st.Steals) / totalOps / n
+			if ops := float64(st.OpCount()); ops > 0 {
+				pt.StealsPerOp += float64(st.Steals) / ops / n
 			}
 			pt.MixAchieved += st.MixAchieved() / n
 		}

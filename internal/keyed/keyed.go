@@ -126,63 +126,114 @@ func (h *Handle[K, V]) Put(k K, v V) {
 	s.mu.Unlock()
 }
 
+// PutAll adds every element of vs to the local segment's class-k bucket
+// under a single lock acquisition. PutAll of an empty slice is a no-op.
+func (h *Handle[K, V]) PutAll(k K, vs []V) {
+	if len(vs) == 0 {
+		return
+	}
+	s := &h.pool.segs[h.id]
+	s.mu.Lock()
+	b := s.buckets[k]
+	if b == nil {
+		b = &segment.Deque[V]{}
+		s.buckets[k] = b
+	}
+	b.AddAll(vs)
+	s.total += len(vs)
+	s.mu.Unlock()
+}
+
+// GetN removes up to max elements of class k in one operation: it drains
+// the local bucket under one lock when possible, otherwise walks the ring
+// and surfaces the batch a bucket steal-half transfers. It returns nil
+// when max <= 0 or no element of class k was found within Options.Sweeps
+// full sweeps (the key-miss fallback: absence is decidable, no livelock
+// rule needed).
+func (h *Handle[K, V]) GetN(k K, max int) []V {
+	if max <= 0 {
+		return nil
+	}
+	if out := h.takeLocalN(k, max); len(out) > 0 {
+		return out
+	}
+	var out []V
+	h.sweep(func(sIdx int) bool {
+		if sIdx == h.id {
+			out = h.takeLocalN(k, max)
+		} else {
+			out = h.stealNFrom(sIdx, k, max)
+		}
+		return len(out) > 0
+	})
+	return out
+}
+
+// sweep walks the segment ring from where elements were last found, for
+// Options.Sweeps full sweeps, calling probe on each segment (including
+// the local one) until probe reports success. A successful remote probe
+// updates lastFound so the next search starts there. It reports whether
+// any probe succeeded — the shared walk behind Get, GetAny, and GetN.
+func (h *Handle[K, V]) sweep(probe func(sIdx int) bool) bool {
+	n := len(h.pool.segs)
+	probes := n * h.pool.opts.Sweeps
+	sIdx := h.lastFound
+	for i := 0; i < probes; i++ {
+		if probe(sIdx) {
+			if sIdx != h.id {
+				h.lastFound = sIdx
+			}
+			return true
+		}
+		sIdx++
+		if sIdx == n {
+			sIdx = 0
+		}
+	}
+	return false
+}
+
 // Get removes an element of class k: locally when possible, otherwise by
 // walking the ring and stealing half of the first non-empty k-bucket. It
 // returns false after Options.Sweeps full sweeps found no element of
 // class k.
 func (h *Handle[K, V]) Get(k K) (V, bool) {
-	var zero V
 	// Local fast path.
 	if v, ok := h.takeLocal(k); ok {
 		return v, true
 	}
 	// Ring search from where elements were last found.
-	n := len(h.pool.segs)
-	probes := n * h.pool.opts.Sweeps
-	sIdx := h.lastFound
-	for i := 0; i < probes; i++ {
-		if sIdx != h.id {
-			if v, ok := h.stealFrom(sIdx, k); ok {
-				h.lastFound = sIdx
-				return v, true
-			}
-		} else if v, ok := h.takeLocal(k); ok {
-			return v, true
+	var out V
+	found := h.sweep(func(sIdx int) bool {
+		var ok bool
+		if sIdx == h.id {
+			out, ok = h.takeLocal(k)
+		} else {
+			out, ok = h.stealFrom(sIdx, k)
 		}
-		sIdx++
-		if sIdx == n {
-			sIdx = 0
-		}
-	}
-	return zero, false
+		return ok
+	})
+	return out, found
 }
 
 // GetAny removes an element of any class, preferring local ones. It
 // returns false when the pool appears empty after the configured sweeps.
 func (h *Handle[K, V]) GetAny() (K, V, bool) {
-	var zeroK K
-	var zeroV V
 	if k, v, ok := h.takeLocalAny(); ok {
 		return k, v, ok
 	}
-	n := len(h.pool.segs)
-	probes := n * h.pool.opts.Sweeps
-	sIdx := h.lastFound
-	for i := 0; i < probes; i++ {
-		if sIdx != h.id {
-			if k, v, ok := h.stealAnyFrom(sIdx); ok {
-				h.lastFound = sIdx
-				return k, v, true
-			}
-		} else if k, v, ok := h.takeLocalAny(); ok {
-			return k, v, true
+	var outK K
+	var outV V
+	found := h.sweep(func(sIdx int) bool {
+		var ok bool
+		if sIdx == h.id {
+			outK, outV, ok = h.takeLocalAny()
+		} else {
+			outK, outV, ok = h.stealAnyFrom(sIdx)
 		}
-		sIdx++
-		if sIdx == n {
-			sIdx = 0
-		}
-	}
-	return zeroK, zeroV, false
+		return ok
+	})
+	return outK, outV, found
 }
 
 // takeLocal pops a class-k element from the local segment.
@@ -203,6 +254,62 @@ func (h *Handle[K, V]) takeLocal(k K) (V, bool) {
 		}
 	}
 	return v, ok
+}
+
+// takeLocalN pops up to max class-k elements from the local segment.
+func (h *Handle[K, V]) takeLocalN(k K, max int) []V {
+	s := &h.pool.segs[h.id]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buckets[k]
+	if b == nil {
+		return nil
+	}
+	out := b.RemoveN(max)
+	s.total -= len(out)
+	if b.Empty() {
+		delete(s.buckets, k)
+	}
+	return out
+}
+
+// stealNFrom steals half of segment sIdx's class-k bucket into the local
+// segment and returns up to max of the transferred elements, leaving the
+// rest parked locally.
+func (h *Handle[K, V]) stealNFrom(sIdx int, k K, max int) []V {
+	p := h.pool
+	a, b := sIdx, h.id
+	if a > b {
+		a, b = b, a
+	}
+	p.segs[a].mu.Lock()
+	p.segs[b].mu.Lock()
+	defer p.segs[a].mu.Unlock()
+	defer p.segs[b].mu.Unlock()
+
+	src := &p.segs[sIdx]
+	srcB := src.buckets[k]
+	if srcB == nil || srcB.Empty() {
+		return nil
+	}
+	dst := &p.segs[h.id]
+	dstB := dst.buckets[k]
+	if dstB == nil {
+		dstB = &segment.Deque[V]{}
+		dst.buckets[k] = dstB
+	}
+	moved := srcB.SplitInto(dstB)
+	src.total -= moved
+	dst.total += moved
+	if srcB.Empty() {
+		delete(src.buckets, k)
+	}
+	out := dstB.RemoveN(max)
+	dst.total -= len(out)
+	if dstB.Empty() {
+		delete(dst.buckets, k)
+	}
+	return out
 }
 
 // takeLocalAny pops an element of any class from the local segment.
@@ -227,40 +334,12 @@ func (h *Handle[K, V]) takeLocalAny() (K, V, bool) {
 // stealFrom steals half of segment sIdx's class-k bucket into the local
 // segment and returns one element.
 func (h *Handle[K, V]) stealFrom(sIdx int, k K) (V, bool) {
-	var zero V
-	p := h.pool
-	a, b := sIdx, h.id
-	if a > b {
-		a, b = b, a
-	}
-	p.segs[a].mu.Lock()
-	p.segs[b].mu.Lock()
-	defer p.segs[a].mu.Unlock()
-	defer p.segs[b].mu.Unlock()
-
-	src := &p.segs[sIdx]
-	srcB := src.buckets[k]
-	if srcB == nil || srcB.Empty() {
+	out := h.stealNFrom(sIdx, k, 1)
+	if len(out) == 0 {
+		var zero V
 		return zero, false
 	}
-	dst := &p.segs[h.id]
-	dstB := dst.buckets[k]
-	if dstB == nil {
-		dstB = &segment.Deque[V]{}
-		dst.buckets[k] = dstB
-	}
-	moved := srcB.SplitInto(dstB)
-	src.total -= moved
-	dst.total += moved
-	if srcB.Empty() {
-		delete(src.buckets, k)
-	}
-	v, _ := dstB.Remove()
-	dst.total--
-	if dstB.Empty() {
-		delete(dst.buckets, k)
-	}
-	return v, true
+	return out[0], true
 }
 
 // stealAnyFrom steals half of some non-empty bucket of segment sIdx.

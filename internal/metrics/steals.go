@@ -46,6 +46,12 @@ type PoolStats struct {
 	// to a searching process instead of the giver's local segment.
 	DirectedGives    int64 // adds delivered into another process's mailbox
 	DirectedReceives int64 // removes satisfied by a mailbox gift
+
+	// Batch operations (PutAll/GetN): each batch op contributes one timing
+	// observation to AddTime/RemoveTime but counts every element it moved
+	// in Adds/Removes, so Adds/AddTime.N() is the achieved add batch size.
+	BatchAdds    int64 // PutAll calls that placed at least one element
+	BatchRemoves int64 // GetN calls that obtained at least one element
 }
 
 // RecordAdd records one completed add and its duration.
@@ -65,6 +71,35 @@ func (s *PoolStats) RecordLocalRemove(d int64) {
 // steal portion sd, number of segments examined, and elements obtained.
 func (s *PoolStats) RecordStealRemove(d, sd int64, examined, stolen int) {
 	s.Removes++
+	s.Steals++
+	s.RemoveTime.Add(float64(d))
+	s.StealTime.Add(float64(sd))
+	s.SegmentsExamined.Add(float64(examined))
+	s.ElementsStolen.Add(float64(stolen))
+}
+
+// RecordBatchAdd records one PutAll of n elements taking d in total.
+func (s *PoolStats) RecordBatchAdd(d int64, n int) {
+	s.BatchAdds++
+	s.Adds += int64(n)
+	s.AddTime.Add(float64(d))
+}
+
+// RecordBatchLocalRemove records one GetN satisfied by the local segment:
+// n elements obtained in one operation of duration d.
+func (s *PoolStats) RecordBatchLocalRemove(d int64, n int) {
+	s.BatchRemoves++
+	s.Removes += int64(n)
+	s.LocalRemoves += int64(n)
+	s.RemoveTime.Add(float64(d))
+}
+
+// RecordBatchStealRemove records one GetN that needed a steal: total
+// duration d, steal portion sd, segments examined, elements transferred by
+// the steal, and n elements returned to the caller.
+func (s *PoolStats) RecordBatchStealRemove(d, sd int64, examined, stolen, n int) {
+	s.BatchRemoves++
+	s.Removes += int64(n)
 	s.Steals++
 	s.RemoveTime.Add(float64(d))
 	s.StealTime.Add(float64(sd))
@@ -95,10 +130,25 @@ func (s *PoolStats) Merge(o *PoolStats) {
 	s.Aborts += o.Aborts
 	s.DirectedGives += o.DirectedGives
 	s.DirectedReceives += o.DirectedReceives
+	s.BatchAdds += o.BatchAdds
+	s.BatchRemoves += o.BatchRemoves
 }
 
-// Ops returns the number of completed operations (adds + removes).
+// Ops returns the number of completed element movements (adds + removes).
+// Under single-element operations this is also the operation count; under
+// batching it counts elements. The experiment drivers charge their
+// operation budget one unit per element moved and one per abort (refunding
+// a batch's unmoved remainder), so Ops()+Aborts == TotalOps at any batch
+// size. See OpCount for the per-operation denominator.
 func (s *PoolStats) Ops() int64 { return s.Adds + s.Removes }
+
+// OpCount returns the number of operations performed — adds, removes, and
+// aborted removes — counting one per call: a batch PutAll/GetN is one
+// operation however many elements it moves. Equals Ops()+Aborts under
+// single-element operations.
+func (s *PoolStats) OpCount() int64 {
+	return s.AddTime.N() + s.RemoveTime.N() + s.AbortTime.N()
+}
 
 // AvgOpTime returns the mean duration over all operations — adds,
 // removes, and aborted removes — the quantity plotted in the paper's
@@ -112,17 +162,34 @@ func (s *PoolStats) AvgOpTime() float64 {
 	return total / float64(n)
 }
 
-// StealFraction returns the fraction of completed removes that required a
-// steal ("the percentage of remove operations that required a steal").
-func (s *PoolStats) StealFraction() float64 {
-	if s.Removes == 0 {
+// AvgTimePerElement returns the mean operation time divided across the
+// elements moved: total time over adds, removes, and aborts, per element
+// added or removed. With single-element operations it equals AvgOpTime;
+// under batch operations it is the amortized per-element cost the batch
+// API exists to lower.
+func (s *PoolStats) AvgTimePerElement() float64 {
+	total := s.AddTime.Sum() + s.RemoveTime.Sum() + s.AbortTime.Sum()
+	n := s.Adds + s.Removes + s.Aborts
+	if n == 0 {
 		return 0
 	}
-	return float64(s.Steals) / float64(s.Removes)
+	return total / float64(n)
 }
 
-// MixAchieved returns the fraction of completed operations that were adds,
-// the x-axis of Figure 2 for the producer/consumer series.
+// StealFraction returns the fraction of completed remove *operations*
+// that required a steal ("the percentage of remove operations that
+// required a steal"). Remove operations are counted per call (a GetN is
+// one operation), so the fraction stays comparable between batched and
+// single-element runs.
+func (s *PoolStats) StealFraction() float64 {
+	if s.RemoveTime.N() == 0 {
+		return 0
+	}
+	return float64(s.Steals) / float64(s.RemoveTime.N())
+}
+
+// MixAchieved returns the fraction of completed element movements that
+// were adds, the x-axis of Figure 2 for the producer/consumer series.
 func (s *PoolStats) MixAchieved() float64 {
 	ops := s.Ops()
 	if ops == 0 {

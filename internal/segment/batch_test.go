@@ -1,0 +1,103 @@
+package segment
+
+import "testing"
+
+func TestDequeAddAllRemoveN(t *testing.T) {
+	var d Deque[int]
+	d.AddAll(nil)
+	d.AddAll([]int{})
+	if d.Len() != 0 {
+		t.Fatalf("AddAll of empty slices changed Len to %d", d.Len())
+	}
+	d.AddAll([]int{1, 2, 3})
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d after AddAll of 3", d.Len())
+	}
+	// RemoveN pops LIFO, like repeated Remove.
+	got := d.RemoveN(2)
+	if len(got) != 2 || got[0] != 3 || got[1] != 2 {
+		t.Fatalf("RemoveN(2) = %v, want [3 2]", got)
+	}
+	if got := d.RemoveN(10); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RemoveN(10) = %v, want [1]", got)
+	}
+	if got := d.RemoveN(1); got != nil {
+		t.Fatalf("RemoveN on empty = %v, want nil", got)
+	}
+	if got := d.RemoveN(-1); got != nil {
+		t.Fatalf("RemoveN(-1) = %v, want nil", got)
+	}
+}
+
+func TestDequeAddAllWraps(t *testing.T) {
+	// Force the ring to wrap: fill, drain from the head via moveInto, then
+	// AddAll across the wrap point.
+	var d, side Deque[int]
+	for i := 0; i < 6; i++ {
+		d.Add(i)
+	}
+	d.TakeInto(&side, 4) // head advances to index 4 of an 8-slot buffer
+	batch := []int{100, 101, 102, 103, 104}
+	d.AddAll(batch)
+	if d.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", d.Len())
+	}
+	want := map[int]bool{4: true, 5: true, 100: true, 101: true, 102: true, 103: true, 104: true}
+	for _, v := range d.Drain() {
+		if !want[v] {
+			t.Fatalf("unexpected element %d", v)
+		}
+		delete(want, v)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing elements %v", want)
+	}
+}
+
+func TestDequeAddAllLarge(t *testing.T) {
+	var d Deque[int]
+	big := make([]int, 10_000)
+	for i := range big {
+		big[i] = i
+	}
+	d.AddAll(big)
+	if d.Len() != len(big) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(big))
+	}
+	seen := make([]bool, len(big))
+	for _, v := range d.RemoveN(len(big)) {
+		if seen[v] {
+			t.Fatalf("element %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	if !d.Empty() {
+		t.Fatal("deque not empty after full RemoveN")
+	}
+}
+
+func TestCounterRemoveN(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	if got := c.RemoveN(3); got != 3 {
+		t.Fatalf("RemoveN(3) = %d, want 3", got)
+	}
+	if got := c.RemoveN(10); got != 2 {
+		t.Fatalf("RemoveN(10) = %d, want 2", got)
+	}
+	if got := c.RemoveN(1); got != 0 {
+		t.Fatalf("RemoveN on empty = %d, want 0", got)
+	}
+	if got := c.RemoveN(-2); got != 0 {
+		t.Fatalf("RemoveN(-2) = %d, want 0", got)
+	}
+}
+
+func BenchmarkDequeAddAllRemoveN64(b *testing.B) {
+	var d Deque[int]
+	batch := make([]int, 64)
+	for i := 0; i < b.N; i++ {
+		d.AddAll(batch)
+		d.RemoveN(64)
+	}
+}

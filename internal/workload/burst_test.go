@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"pools/internal/metrics"
+)
+
+func TestBurstValidate(t *testing.T) {
+	base := Config{
+		Procs: 8, Model: Burst, Producers: 3, Arrangement: Balanced,
+		BatchSize: 4, TotalOps: 100, InitialElements: 10,
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid burst config rejected: %v", err)
+	}
+	bad := base
+	bad.BatchSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("BatchSize 0 accepted for burst model")
+	}
+	pc := base
+	pc.Model = ProducerConsumer
+	pc.BatchSize = 0 // irrelevant outside Burst
+	if err := pc.Validate(); err != nil {
+		t.Fatalf("producer/consumer config rejected: %v", err)
+	}
+}
+
+func TestBurstChooserRoles(t *testing.T) {
+	cfg := Config{
+		Procs: 4, Model: Burst, Producers: 2, Arrangement: Contiguous,
+		BatchSize: 8, TotalOps: 100,
+	}
+	for proc := 0; proc < cfg.Procs; proc++ {
+		ch := NewChooser(cfg, proc, 1)
+		want := metrics.OpRemove
+		if proc < 2 {
+			want = metrics.OpAdd
+		}
+		for i := 0; i < 10; i++ {
+			if got := ch.Next(); got != want {
+				t.Fatalf("proc %d op %d = %v, want %v", proc, i, got, want)
+			}
+		}
+	}
+}
+
+func TestTryClaimN(t *testing.T) {
+	b := NewBudget(10)
+	if got := b.TryClaimN(4); got != 4 {
+		t.Fatalf("TryClaimN(4) = %d", got)
+	}
+	if got := b.TryClaimN(0); got != 0 {
+		t.Fatalf("TryClaimN(0) = %d", got)
+	}
+	if got := b.TryClaimN(-2); got != 0 {
+		t.Fatalf("TryClaimN(-2) = %d", got)
+	}
+	if got := b.TryClaimN(100); got != 6 {
+		t.Fatalf("TryClaimN(100) = %d, want the remaining 6", got)
+	}
+	if got := b.TryClaimN(1); got != 0 {
+		t.Fatalf("TryClaimN on exhausted budget = %d", got)
+	}
+	if !b.Exhausted() || b.Used() != 10 {
+		t.Fatalf("budget state: used=%d exhausted=%v", b.Used(), b.Exhausted())
+	}
+}
+
+func TestTryClaimNConcurrent(t *testing.T) {
+	const limit = 10_000
+	b := NewBudget(limit)
+	var wg sync.WaitGroup
+	totals := make([]int, 8)
+	for w := range totals {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				n := b.TryClaimN(7)
+				if n == 0 {
+					return
+				}
+				totals[w] += n
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := 0
+	for _, n := range totals {
+		sum += n
+	}
+	if sum != limit {
+		t.Fatalf("claimed %d total, want exactly %d", sum, limit)
+	}
+}

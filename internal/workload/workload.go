@@ -10,7 +10,11 @@
 //     or balanced (spread evenly, Section 4.2's fix);
 //   - the dynamic-roles extension (Section 3.3 notes that "in many real
 //     systems, the identity of the processes acting as producers may
-//     change dynamically over time").
+//     change dynamically over time");
+//   - the burst model, a producer/consumer variant beyond the paper in
+//     which processes move elements in batches of Config.BatchSize via the
+//     pools' batch operations (PutAll/GetN), modelling the bursty arrivals
+//     of real producer/consumer systems.
 //
 // The experiment protocol constants (5000 operations against a pool seeded
 // with 320 elements on 16 processors, averaged over 10 trials) also live
@@ -44,10 +48,12 @@ const (
 // Model selects the operation pattern.
 type Model int
 
-// The two workload models of Section 3.3.
+// The two workload models of Section 3.3, plus the batched
+// producer/consumer extension.
 const (
 	RandomOps Model = iota + 1
 	ProducerConsumer
+	Burst
 )
 
 // String names the model.
@@ -57,6 +63,8 @@ func (m Model) String() string {
 		return "random-ops"
 	case ProducerConsumer:
 		return "producer-consumer"
+	case Burst:
+		return "burst"
 	default:
 		return fmt.Sprintf("Model(%d)", int(m))
 	}
@@ -105,6 +113,11 @@ type Config struct {
 	// process performs — the dynamic-roles extension.
 	RoleFlipEvery int
 
+	// BatchSize is the number of elements each Burst operation moves
+	// (PutAll for producers, GetN for consumers). Burst only; must be
+	// >= 1.
+	BatchSize int
+
 	TotalOps        int // shared operation budget (PaperTotalOps)
 	InitialElements int // pool seed (PaperInitialElements)
 }
@@ -130,7 +143,7 @@ func (c Config) Validate() error {
 		if c.AddFraction < 0 || c.AddFraction > 1 {
 			return fmt.Errorf("workload: AddFraction = %v, need [0,1]", c.AddFraction)
 		}
-	case ProducerConsumer:
+	case ProducerConsumer, Burst:
 		if c.Producers < 0 || c.Producers > c.Procs {
 			return fmt.Errorf("workload: Producers = %d, need [0,%d]", c.Producers, c.Procs)
 		}
@@ -138,6 +151,9 @@ func (c Config) Validate() error {
 		case Contiguous, Balanced:
 		default:
 			return fmt.Errorf("workload: unknown arrangement %d", int(c.Arrangement))
+		}
+		if c.Model == Burst && c.BatchSize < 1 {
+			return fmt.Errorf("workload: BatchSize = %d, need >= 1 for the burst model", c.BatchSize)
 		}
 	default:
 		return fmt.Errorf("workload: unknown model %d", int(c.Model))
@@ -165,7 +181,7 @@ func ProducerPositions(procs, producers int, arr Arrangement) []int {
 }
 
 // IsProducer reports whether processor proc holds a producer role under
-// the configuration (ProducerConsumer model only).
+// the configuration (ProducerConsumer and Burst models only).
 func (c Config) IsProducer(proc int) bool {
 	for _, p := range ProducerPositions(c.Procs, c.Producers, c.Arrangement) {
 		if p == proc {
@@ -193,7 +209,7 @@ func NewChooser(cfg Config, proc int, trialSeed uint64) *Chooser {
 		cfg:      cfg,
 		proc:     proc,
 		rng:      rng.NewXoshiro256(rng.SubSeed(trialSeed, proc)),
-		producer: cfg.Model == ProducerConsumer && cfg.IsProducer(proc),
+		producer: (cfg.Model == ProducerConsumer || cfg.Model == Burst) && cfg.IsProducer(proc),
 	}
 }
 
@@ -201,7 +217,7 @@ func NewChooser(cfg Config, proc int, trialSeed uint64) *Chooser {
 func (ch *Chooser) Next() metrics.OpKind {
 	ch.ops++
 	switch ch.cfg.Model {
-	case ProducerConsumer:
+	case ProducerConsumer, Burst:
 		producer := ch.producer
 		if ch.cfg.RoleFlipEvery > 0 {
 			// Rotate the producer set by one position per flip interval.
@@ -242,11 +258,42 @@ func NewBudget(n int) *Budget {
 // TryClaim consumes one operation from the budget, reporting false when
 // the budget is exhausted.
 func (b *Budget) TryClaim() bool {
-	if b.used.Add(1) > b.limit {
-		b.used.Add(-1)
-		return false
+	return b.TryClaimN(1) == 1
+}
+
+// TryClaimN consumes up to k operations from the budget, returning how
+// many were claimed (0 when exhausted). A burst worker claims one budget
+// unit per element it intends to move, so batched and single-element runs
+// spend the same total budget.
+func (b *Budget) TryClaimN(k int) int {
+	if k <= 0 {
+		return 0
 	}
-	return true
+	for {
+		cur := b.used.Load()
+		rem := b.limit - cur
+		if rem <= 0 {
+			return 0
+		}
+		take := int64(k)
+		if take > rem {
+			take = rem
+		}
+		if b.used.CompareAndSwap(cur, cur+take) {
+			return int(take)
+		}
+	}
+}
+
+// Refund returns n unused operations to the budget: a burst worker claims
+// BatchSize units up front and refunds the ones its GetN could not move.
+// A refund may briefly revive a budget another worker already observed as
+// exhausted; workers that exited on that observation simply leave the
+// refunded units unspent.
+func (b *Budget) Refund(n int) {
+	if n > 0 {
+		b.used.Add(int64(-n))
+	}
 }
 
 // Used returns the number of operations claimed so far.

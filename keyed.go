@@ -5,8 +5,10 @@ import "pools/internal/keyed"
 // KeyedPool extends the concurrent pool to distinguishable elements — the
 // paper's second Section 5 open question. Elements carry a comparable key
 // class; removals may request a specific class (Get) or any class
-// (GetAny). Locality and steal-half behaviour match the plain pool; see
-// the internal/keyed package documentation for the emptiness semantics.
+// (GetAny). Batch operations mirror the plain pool: PutAll(key, items)
+// adds a slice under one lock, GetN(key, max) drains or steals a batch.
+// Locality and steal-half behaviour match the plain pool; see the
+// internal/keyed package documentation for the emptiness semantics.
 type KeyedPool[K comparable, V any] = keyed.Pool[K, V]
 
 // KeyedHandle is one process's attachment to a KeyedPool segment.

@@ -24,6 +24,22 @@
 // participant could be adding (the paper's livelock rule plus a staleness
 // backstop), or the pool/handle is closed.
 //
+// # Batch operations
+//
+// Bursty producers and consumers should move elements in batches: PutAll
+// places a whole slice under one segment-lock acquisition, and GetN drains
+// up to max elements in one operation — on a dry local segment a
+// steal-half already transfers a batch, and GetN returns that batch
+// instead of one element at a time:
+//
+//	h.PutAll(tasks)          // k elements, one lock acquisition
+//	batch := h.GetN(32)      // up to 32 elements; nil under Get's ok=false conditions
+//
+// The keyed pool mirrors the same pair as PutAll(key, items) and
+// GetN(key, max). At batch sizes >= 8 the amortization is worth several
+// times the per-element cost of the single-element loop (see
+// BenchmarkBatchPutGet and the `poolbench -exp burst` sweep).
+//
 // The packages under internal/ hold the implementation, the simulated
 // 16-processor Butterfly used to reproduce the paper's measurements, the
 // experiment harness (cmd/poolbench regenerates every table and figure),

@@ -116,3 +116,32 @@ func TestPublicKeyedAPI(t *testing.T) {
 		t.Fatalf("GetAny = (%s,%d,%v)", k, v, ok)
 	}
 }
+
+func TestPublicAPIBatchOps(t *testing.T) {
+	p, err := pools.New[int](pools.Options{Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer := p.Handle(2)
+	consumer := p.Handle(0)
+	producer.PutAll([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	// Dry local segment: the GetN surfaces the steal-half batch (4 of 8).
+	if out := consumer.GetN(8); len(out) != 4 {
+		t.Fatalf("GetN returned %d elements, want the stolen half (4)", len(out))
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", p.Len())
+	}
+
+	kp, err := pools.NewKeyed[string, int](pools.KeyedOptions{Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp.Handle(1).PutAll("k", []int{1, 2, 3})
+	if out := kp.Handle(1).GetN("k", 10); len(out) != 3 {
+		t.Fatalf("keyed GetN returned %d elements, want 3", len(out))
+	}
+	if out := kp.Handle(1).GetN("missing", 10); out != nil {
+		t.Fatalf("keyed GetN of absent class = %v, want nil", out)
+	}
+}
