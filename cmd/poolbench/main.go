@@ -7,9 +7,10 @@
 //	poolbench -exp all                  # everything (EXPERIMENTS.md source)
 //	poolbench -exp fig7 -trials 3       # faster, noisier
 //	poolbench -exp app -depth 2         # smaller game tree
+//	poolbench -exp policy -csv          # steal-policy sweep + CSV
 //
 // Experiments: fig2, fig3, fig4, fig5, fig6, fig7, algos, arrange, delay,
-// steal, roles, burst, app, all.
+// steal, roles, burst, policy, app, all.
 package main
 
 import (
@@ -33,14 +34,14 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("poolbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|app|all")
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|policy|app|all")
 	trials := fs.Int("trials", workload.PaperTrials, "trials averaged per data point")
 	seed := fs.Uint64("seed", 1989, "master seed")
 	ops := fs.Int("ops", workload.PaperTotalOps, "operations per trial")
 	fill := fs.Int("fill", workload.PaperInitialElements, "initial pool elements")
 	procs := fs.Int("procs", workload.PaperProcs, "processors/segments")
 	depth := fs.Int("depth", 3, "tic-tac-toe expansion depth (3 = paper's 249,984 positions)")
-	csv := fs.Bool("csv", false, "append machine-readable CSV for fig2, fig7, and burst")
+	csv := fs.Bool("csv", false, "append machine-readable CSV for fig2, fig7, burst, and policy")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,6 +124,15 @@ var experiments = []experiment{
 			return harness.RenderBurst(search.Tree, rows) + "\n" + harness.BurstCSV(rows)
 		}
 		return harness.RenderBurst(search.Tree, rows)
+	}},
+	{"policy", "steal/placement policy sweep: half vs one vs proportional vs adaptive (burst + fluctuating workloads)", func(cfg harness.Config, _ int, csv bool) string {
+		rows := harness.PolicySweep(cfg, search.Tree, 5, harness.BurstBatchSweep())
+		fluct := harness.PolicyFluctuate(cfg, search.Tree, 5, 16, []int{0, 100, 25})
+		out := harness.RenderPolicy(search.Tree, rows) + "\n" + harness.RenderPolicyFluct(16, fluct)
+		if csv {
+			out += "\n" + harness.PolicyCSV(rows) + "\n" + harness.PolicyFluctCSV(fluct)
+		}
+		return out
 	}},
 	{"app", "Section 4.4 tic-tac-toe work-list comparison", func(cfg harness.Config, depth int, _ bool) string {
 		rows := harness.App(cfg, harness.DefaultAppCosts(), depth,

@@ -5,6 +5,7 @@ import (
 
 	"pools/internal/metrics"
 	"pools/internal/numa"
+	"pools/internal/policy"
 	"pools/internal/search"
 )
 
@@ -44,14 +45,27 @@ func (h *Handle[T]) Register() {
 
 // Close withdraws this handle from the pool's participant set. A closed
 // handle's operations fail; searches by other handles no longer wait for
-// this process to add elements. Close is idempotent.
+// this process to add elements. Any gift stranded in the handle's mailbox
+// (a directed add that raced with the end of its last search) is parked
+// in the local segment first, where other processes' steals can reach it
+// — otherwise a worker exiting on a perceived-empty pool would strand a
+// whole batch until Drain. Close is idempotent.
 func (h *Handle[T]) Close() {
 	if h.closed {
 		return
 	}
+	p := h.pool
+	if p.boxes != nil {
+		if g, ok := p.boxes[h.id].tryTake(); ok {
+			h.parkLocal(g.elements())
+			if p.opts.CollectStats {
+				h.stats.DirectedReceives += int64(g.count())
+			}
+		}
+	}
 	h.closed = true
 	if h.registered {
-		h.pool.open.Add(-1)
+		p.open.Add(-1)
 	}
 }
 
@@ -77,13 +91,14 @@ func sinceMicros(start time.Time) int64 {
 	return time.Since(start).Microseconds()
 }
 
-// Put adds an element to the local segment. It never fails and never
-// blocks on other segments.
+// Put adds an element to the pool: into a hungry searcher's mailbox when
+// the Placement policy directs it there, otherwise into the local
+// segment. It never fails and never blocks on other segments.
 func (h *Handle[T]) Put(v T) {
 	h.Register()
 	p := h.pool
 	start := h.now()
-	if p.opts.DirectedAdds && p.directPut(h.id, v) {
+	if p.boxes != nil && p.giftOut(h.id, []T{v}) == 1 {
 		p.version.Add(1)
 		if p.opts.CollectStats {
 			h.stats.DirectedGives++
@@ -104,10 +119,12 @@ func (h *Handle[T]) Put(v T) {
 
 // PutAll adds every element of items to the local segment under a single
 // lock acquisition, amortizing the lock (and any NUMA add delay) over the
-// whole batch. With DirectedAdds enabled, leading elements are gifted to
-// hungry searchers first — a batch arrival can feed several starving
-// consumers — and only the remainder takes the segment lock. PutAll of an
-// empty slice is a no-op. The items slice is not retained.
+// whole batch. With directed adds enabled, a leading portion of the batch
+// — the Placement policy's choice, by default the whole slice — is gifted
+// to hungry searchers first, split evenly among them, so a batch arrival
+// can hand each starving consumer an entire reserve; only the remainder
+// takes the segment lock. PutAll of an empty slice is a no-op. The items
+// slice is not retained.
 func (h *Handle[T]) PutAll(items []T) {
 	if len(items) == 0 {
 		return
@@ -116,10 +133,8 @@ func (h *Handle[T]) PutAll(items []T) {
 	p := h.pool
 	start := h.now()
 	gifted := 0
-	if p.opts.DirectedAdds {
-		for gifted < len(items) && p.directPut(h.id, items[gifted]) {
-			gifted++
-		}
+	if p.boxes != nil {
+		gifted = p.giftOut(h.id, items)
 		if p.opts.CollectStats {
 			h.stats.DirectedGives += int64(gifted)
 		}
@@ -193,9 +208,10 @@ func (h *Handle[T]) TryGetLocal() (T, bool) {
 }
 
 // Get removes an element from the pool: locally when possible, otherwise
-// by searching remote segments and stealing half of the first non-empty
-// one. It returns ok=false when the pool or handle is closed, or when
-// every open handle is simultaneously searching (the pool is empty and no
+// by searching remote segments (in the VictimOrder policy's order) and
+// stealing a StealAmount-policy-chosen share of the first non-empty one.
+// It returns ok=false when the pool or handle is closed, or when every
+// open handle is simultaneously searching (the pool is empty and no
 // participant can be adding — the paper's abort rule).
 func (h *Handle[T]) Get() (T, bool) {
 	var zero T
@@ -216,44 +232,70 @@ func (h *Handle[T]) Get() (T, bool) {
 		if p.opts.CollectStats {
 			h.stats.RecordLocalRemove(sinceMicros(start))
 		}
+		p.observe(policy.Feedback{Got: 1, Elapsed: sinceMicros(start)})
 		return v, true
 	}
 
 	// Slow path: search and steal.
 	searchStart := h.now()
-	res, gift, gotGift, stole := h.searchSteal()
+	res, g, gotGift, stole := h.searchSteal(1)
 	if !stole {
 		if gotGift {
+			v = g.first()
+			h.parkLocal(g.rest())
 			if p.opts.CollectStats {
-				h.stats.DirectedReceives++
-				h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, 1)
+				h.stats.DirectedReceives += int64(g.count())
+				h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, g.count())
 			}
-			return gift, true
+			p.observe(policy.Feedback{Examined: res.Examined, Got: g.count(), Elapsed: sinceMicros(start)})
+			return v, true
 		}
 		if p.opts.CollectStats {
 			h.stats.RecordAbort(sinceMicros(start))
 		}
+		p.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: sinceMicros(start)})
 		return zero, false
 	}
 	v = h.world.takeReserved()
 	if p.opts.CollectStats {
 		h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, res.Got)
 	}
+	p.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: sinceMicros(start)})
 	return v, true
+}
+
+// parkLocal adds elements to the local segment, where subsequent removes
+// find them on the fast path (and other searchers' steals can reach
+// them). A nil or empty slice is a no-op.
+func (h *Handle[T]) parkLocal(items []T) {
+	if len(items) == 0 {
+		return
+	}
+	p := h.pool
+	s := &p.segs[h.id]
+	s.mu.Lock()
+	s.dq.AddAll(items)
+	s.mu.Unlock()
+	p.version.Add(1)
 }
 
 // searchSteal is the slow path shared by Get and GetN: enter the search,
 // maintaining the lookers count and (with directed adds) the hunger flag,
-// and resolve the gift race on abort. TrySteal reserves one element under
-// the segment lock, so a successful search cannot lose its element to a
-// competing thief; on stole=true the remaining res.Got-1 stolen elements
-// sit in the local segment with the reserved one in h.world. On
-// stole=false, gotGift reports whether a directed add landed in the
-// mailbox instead (a gift may race with a genuine abort); otherwise the
-// operation aborted empty-handed.
-func (h *Handle[T]) searchSteal() (res search.Result, gift T, gotGift, stole bool) {
+// and resolve the gift races. want is the requesting operation's
+// appetite, which the StealAmount policy may consult when sizing the
+// transfer. TrySteal reserves one element under the segment lock, so a
+// successful search cannot lose its element to a competing thief; on
+// stole=true the remaining res.Got-1 stolen elements sit in the local
+// segment with the reserved one in h.world — and any gift that raced
+// with the successful steal has been parked in the local segment too,
+// where it stays visible to every searcher instead of stranded in the
+// mailbox until this handle's next slow path. On stole=false, gotGift
+// reports that a directed add landed in the mailbox instead (a gift may
+// race with a genuine abort); otherwise the operation aborted
+// empty-handed.
+func (h *Handle[T]) searchSteal(want int) (res search.Result, g gift[T], gotGift, stole bool) {
 	p := h.pool
-	h.world.beginSearch()
+	h.world.beginSearch(want)
 	p.lookers.Add(1)
 	if p.boxes != nil {
 		p.boxes[h.id].hungry.Store(true)
@@ -263,22 +305,29 @@ func (h *Handle[T]) searchSteal() (res search.Result, gift T, gotGift, stole boo
 		p.boxes[h.id].hungry.Store(false)
 	}
 	p.lookers.Add(-1)
-	if res.Got > 0 {
-		return res, gift, false, true
-	}
 	if p.boxes != nil {
-		gift, gotGift = p.boxes[h.id].tryTake()
+		g, gotGift = p.boxes[h.id].tryTake()
 	}
-	return res, gift, gotGift, false
+	if res.Got > 0 {
+		if gotGift {
+			h.parkLocal(g.elements())
+			if p.opts.CollectStats {
+				h.stats.DirectedReceives += int64(g.count())
+			}
+		}
+		return res, gift[T]{}, false, true
+	}
+	return res, g, gotGift, false
 }
 
 // GetN removes up to max elements from the pool in one operation. The
 // local fast path drains the segment under a single lock acquisition; on a
 // dry local segment it searches and steals exactly like Get — a successful
-// steal-half already lands a batch in the local segment, and GetN surfaces
-// that batch instead of returning one element and re-locking for the rest.
-// It returns nil under the same conditions Get returns ok=false: pool or
-// handle closed, or the abort rule certified emptiness.
+// steal already lands a policy-sized batch in the local segment (the
+// StealAmount policy sees max as the requester's appetite), and GetN
+// surfaces that batch instead of returning one element and re-locking for
+// the rest. It returns nil under the same conditions Get returns
+// ok=false: pool or handle closed, or the abort rule certified emptiness.
 func (h *Handle[T]) GetN(max int) []T {
 	if max <= 0 {
 		return nil
@@ -300,23 +349,34 @@ func (h *Handle[T]) GetN(max int) []T {
 		if p.opts.CollectStats {
 			h.stats.RecordBatchLocalRemove(sinceMicros(start), len(out))
 		}
+		p.observe(policy.Feedback{Got: len(out), Elapsed: sinceMicros(start)})
 		return out
 	}
 
 	// Slow path: search and steal, exactly as Get.
 	searchStart := h.now()
-	res, gift, gotGift, stole := h.searchSteal()
+	res, g, gotGift, stole := h.searchSteal(max)
 	if !stole {
 		if gotGift {
-			if p.opts.CollectStats {
-				h.stats.DirectedReceives++
-				h.stats.RecordBatchStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, 1, 1)
+			if g.batch == nil {
+				out = []T{g.one}
+			} else if len(g.batch) <= max {
+				out = g.batch
+			} else {
+				out = g.batch[:max]
+				h.parkLocal(g.batch[max:])
 			}
-			return []T{gift}
+			if p.opts.CollectStats {
+				h.stats.DirectedReceives += int64(g.count())
+				h.stats.RecordBatchStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, g.count(), len(out))
+			}
+			p.observe(policy.Feedback{Examined: res.Examined, Got: g.count(), Elapsed: sinceMicros(start)})
+			return out
 		}
 		if p.opts.CollectStats {
 			h.stats.RecordAbort(sinceMicros(start))
 		}
+		p.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: sinceMicros(start)})
 		return nil
 	}
 	// The steal moved res.Got elements into the local segment and reserved
@@ -331,6 +391,7 @@ func (h *Handle[T]) GetN(max int) []T {
 	if p.opts.CollectStats {
 		h.stats.RecordBatchStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, res.Got, len(out))
 	}
+	p.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: sinceMicros(start)})
 	return out
 }
 
@@ -339,6 +400,7 @@ type world[T any] struct {
 	h        *Handle[T]
 	reserved T
 	has      bool
+	want     int // the in-flight operation's appetite (Get: 1, GetN: max)
 
 	// Coverage tracking for the abort rules: which segments have been
 	// probed and found empty since the last observed pool mutation.
@@ -347,8 +409,10 @@ type world[T any] struct {
 	probedCount int
 }
 
-// beginSearch arms the coverage tracker for a new search.
-func (w *world[T]) beginSearch() {
+// beginSearch arms the coverage tracker for a new search on behalf of an
+// operation wanting up to want elements.
+func (w *world[T]) beginSearch(want int) {
+	w.want = want
 	w.seenVersion = w.h.pool.version.Load()
 	if w.probed == nil {
 		w.probed = make([]bool, len(w.h.pool.segs))
@@ -399,7 +463,9 @@ func (w *world[T]) Self() int { return w.h.id }
 // livelock rule) or nothing has changed since the search began (the
 // sequential-liveness rule for a single goroutine driving several
 // handles). Coverage makes the decision exact: a Get never returns false
-// while an element it could have taken sits unprobed.
+// while an element it could have taken sits unprobed, and batch gifts
+// banked in a still-searching process's mailbox also hold off the
+// staleness abort until they surface.
 func (w *world[T]) Aborted() bool {
 	p := w.h.pool
 	if p.closed.Load() || w.h.closed {
@@ -410,6 +476,17 @@ func (w *world[T]) Aborted() bool {
 		return true
 	}
 	if !w.covered() {
+		return false
+	}
+	if p.giftsInFlight() {
+		// A batch gift is banked in a still-searching process's mailbox:
+		// the pool is not empty, and the elements surface (with a version
+		// bump for any surplus) as soon as that search ends. Keep looking
+		// rather than certifying emptiness on invisible elements. This
+		// must precede the all-searching rule — the gift's owner is one
+		// of the searchers, so lookers >= open exactly while a gift is in
+		// flight — and cannot livelock: the owner's own-slot check above
+		// ends its search, clearing its hunger flag either way.
 		return false
 	}
 	if p.lookers.Load() >= p.open.Load() {
@@ -426,8 +503,8 @@ func (w *world[T]) Aborted() bool {
 
 // TrySteal implements search.World. Probing the local segment reports its
 // size and reserves one element if available. Probing a remote segment
-// locks victim and self in index order, splits per the configured policy,
-// and reserves one of the stolen elements.
+// locks victim and self in index order, transfers the StealAmount
+// policy's share, and reserves one of the stolen elements.
 func (w *world[T]) TrySteal(sIdx int) int {
 	h := w.h
 	p := h.pool
@@ -467,12 +544,7 @@ func (w *world[T]) TrySteal(sIdx int) int {
 		return 0
 	}
 	p.opts.Delay.Delay(numa.AccessSplit, self, sIdx)
-	var moved int
-	if p.opts.Steal == StealOne {
-		moved = src.dq.TakeInto(&dst.dq, 1)
-	} else {
-		moved = src.dq.SplitInto(&dst.dq)
-	}
+	moved := src.dq.TakeInto(&dst.dq, p.pol.Steal.Amount(n, w.want))
 	w.reserved, _ = dst.dq.Remove()
 	w.has = true
 	second.mu.Unlock()

@@ -5,59 +5,184 @@ package core
 // leave hints in the pool, and elements added by another processor can be
 // directed to the searching process."
 //
-// Mechanism: every handle owns a one-element mailbox. A searching process
-// raises a "hungry" flag; Put on another handle (with Options.DirectedAdds
-// enabled) scans for a hungry process and delivers the element straight
-// into its mailbox instead of the local segment. The searcher notices the
-// gift at its next abort-check and completes its remove without stealing.
-// The scan starts just past the giver's own segment, so gifts spread
-// around the ring instead of piling onto one consumer.
+// Mechanism: every handle owns a one-slot mailbox. A searching process
+// raises a "hungry" flag; Put/PutAll on another handle (when directed
+// adds are enabled) consults the pool's Placement policy for how much of
+// the batch to gift and delivers it straight into hungry processes'
+// mailboxes instead of the local segment. The searcher notices the gift
+// at its next abort-check and completes its remove without stealing.
+// Mailboxes carry whole batches, so a PutAll can hand a starving
+// consumer an entire reserve (policy.GiftAll), one element per searcher
+// (policy.GiftOne), or any policy-chosen split; deliveries scan the ring
+// from just past the giver's own segment, so gifts spread around the ring
+// instead of piling onto one consumer.
 
 import "sync/atomic"
 
+// gift is a mailbox delivery: either a single element (batch nil — the
+// Put fast path, which must not heap-allocate) or a batch slice owned by
+// the mailbox once sent.
+type gift[T any] struct {
+	one   T
+	batch []T // nil means the gift is the single element `one`
+}
+
+// count returns the number of elements carried.
+func (g gift[T]) count() int {
+	if g.batch != nil {
+		return len(g.batch)
+	}
+	return 1
+}
+
+// first returns the gift's first element.
+func (g gift[T]) first() T {
+	if g.batch != nil {
+		return g.batch[0]
+	}
+	return g.one
+}
+
+// rest returns the elements after the first (nil for single-element
+// gifts).
+func (g gift[T]) rest() []T {
+	if g.batch != nil {
+		return g.batch[1:]
+	}
+	return nil
+}
+
+// elements returns every carried element as a slice (allocating for
+// single-element gifts — callers on hot paths use first/rest instead).
+func (g gift[T]) elements() []T {
+	if g.batch != nil {
+		return g.batch
+	}
+	return []T{g.one}
+}
+
 // mailbox is a single-slot handoff for directed adds. A buffered channel
 // of capacity 1 gives exactly the required semantics: non-blocking
-// try-send by the giver, non-blocking try-receive by the owner.
+// try-send by the giver, non-blocking try-receive by the owner. banked
+// tracks the element count parked in the slot so Pool.Len stays cheap.
 type mailbox[T any] struct {
-	slot   chan T
+	slot   chan gift[T]
+	banked atomic.Int64
 	hungry atomic.Bool
 	_      pad
 }
 
-func (m *mailbox[T]) init() { m.slot = make(chan T, 1) }
+func (m *mailbox[T]) init() { m.slot = make(chan gift[T], 1) }
 
-// tryGive attempts to hand v to this mailbox's owner; it reports whether
-// the element was delivered.
-func (m *mailbox[T]) tryGive(v T) bool {
+// tryGive attempts to hand g to this mailbox's owner; it reports whether
+// it was delivered. The giver transfers ownership of g.batch.
+func (m *mailbox[T]) tryGive(g gift[T]) bool {
 	if !m.hungry.Load() {
 		return false
 	}
+	n := int64(g.count())
+	m.banked.Add(n)
 	select {
-	case m.slot <- v:
+	case m.slot <- g:
 		return true
 	default:
+		m.banked.Add(-n)
 		return false
 	}
 }
 
-// tryTake removes a delivered element, if any.
-func (m *mailbox[T]) tryTake() (T, bool) {
+// tryTake removes a delivered gift, if any.
+func (m *mailbox[T]) tryTake() (gift[T], bool) {
 	select {
-	case v := <-m.slot:
-		return v, true
+	case g := <-m.slot:
+		m.banked.Add(-int64(g.count()))
+		return g, true
 	default:
-		var zero T
-		return zero, false
+		return gift[T]{}, false
 	}
 }
 
-// directPut attempts to deliver v to some hungry process other than the
-// giver, scanning the ring from the giver's successor. It reports whether
-// the element was delivered.
-func (p *Pool[T]) directPut(giver int, v T) bool {
+// giftOut offers items to hungry searchers per the pool's Placement
+// policy: the policy picks how many elements to gift given the batch size
+// and the number of currently-hungry processes, and the quota is split
+// into near-even chunks delivered around the ring from the giver's
+// successor. It returns the number of elements delivered; the caller adds
+// the remainder to its local segment. Single-element chunks travel by
+// value (no allocation — the Put fast path); larger chunks are copied,
+// so the caller's backing array is never retained.
+func (p *Pool[T]) giftOut(giver int, items []T) int {
 	n := len(p.boxes)
-	for off := 1; off <= n; off++ {
-		if p.boxes[(giver+off)%n].tryGive(v) {
+	// Single-element fast path (Put): the split decision is binary —
+	// gift or keep — so the first hungry box settles it without first
+	// counting every hungry searcher on the ring, and delivery needs no
+	// chunking or copying.
+	if len(items) == 1 {
+		for off := 1; off <= n; off++ {
+			b := &p.boxes[(giver+off)%n]
+			if !b.hungry.Load() {
+				continue
+			}
+			if p.pol.Place.GiftSplit(1, 1) < 1 {
+				return 0 // placement keeps single adds local
+			}
+			if b.tryGive(gift[T]{one: items[0]}) {
+				return 1
+			}
+		}
+		return 0
+	}
+	hungry := 0
+	for i := range p.boxes {
+		if i != giver && p.boxes[i].hungry.Load() {
+			hungry++
+		}
+	}
+	if hungry == 0 {
+		return 0
+	}
+	quota := p.pol.Place.GiftSplit(len(items), hungry)
+	if quota <= 0 {
+		return 0
+	}
+	if quota > len(items) {
+		quota = len(items)
+	}
+	chunk := (quota + hungry - 1) / hungry
+	delivered := 0
+	for off := 1; off <= n && delivered < quota; off++ {
+		b := &p.boxes[(giver+off)%n]
+		if !b.hungry.Load() {
+			continue // don't build a chunk for a box that will refuse it
+		}
+		take := chunk
+		if rem := quota - delivered; take > rem {
+			take = rem
+		}
+		var g gift[T]
+		if take == 1 {
+			g = gift[T]{one: items[delivered]}
+		} else {
+			batch := make([]T, take)
+			copy(batch, items[delivered:delivered+take])
+			g = gift[T]{batch: batch}
+		}
+		if b.tryGive(g) {
+			delivered += take
+		}
+	}
+	return delivered
+}
+
+// giftsInFlight reports whether any mailbox holds a banked gift whose
+// owner is still searching. Those elements are about to surface: the
+// owner's next abort check ends its search with the gift, and any surplus
+// is parked in its segment with a version bump. A covered search must
+// therefore not certify emptiness while one exists. A gift stranded after
+// its owner's search ended (the give/abort race the paper accepts) does
+// not block: it surfaces on the owner's next remove.
+func (p *Pool[T]) giftsInFlight() bool {
+	for i := range p.boxes {
+		if p.boxes[i].banked.Load() > 0 && p.boxes[i].hungry.Load() {
 			return true
 		}
 	}

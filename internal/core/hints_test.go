@@ -76,8 +76,8 @@ func TestDirectedAddLenAndDrainSeeMailboxes(t *testing.T) {
 	// Force a gift into handle 0's mailbox directly (simulating the race
 	// where a gift lands as the search ends).
 	p.boxes[0].hungry.Store(true)
-	if !p.directPut(1, 99) {
-		t.Fatal("directPut failed with a hungry mailbox")
+	if got := p.giftOut(1, []int{99}); got != 1 {
+		t.Fatalf("giftOut delivered %d with a hungry mailbox, want 1", got)
 	}
 	if p.Len() != 1 {
 		t.Fatalf("Len = %d, want 1 (mailbox element)", p.Len())
@@ -163,6 +163,17 @@ func TestDirectedAddShortensSearches(t *testing.T) {
 					for j := 0; j < 5000; j++ {
 						h.Put(j)
 					}
+					// Engagement coda: trickle elements with real sleeps.
+					// A gift engages only when a Put lands while a consumer
+					// is mid-search; on GOMAXPROCS=1 the flood above runs
+					// largely uninterrupted, but a sleeping producer forces
+					// the scheduler to preempt a spinning consumer — often
+					// mid-search with its hunger flag raised — exactly as
+					// in TestDirectedAddDeliversToSearcher.
+					for j := 0; j < 50 && h.stats.DirectedGives == 0; j++ {
+						time.Sleep(time.Millisecond)
+						h.Put(5000 + j)
+					}
 					h.Close()
 					return
 				}
@@ -180,11 +191,10 @@ func TestDirectedAddShortensSearches(t *testing.T) {
 		st := p.Stats()
 		return st.DirectedReceives, st.Steals
 	}
-	// Engagement depends on a Put landing while a consumer is mid-search,
-	// which on a single-core host needs a preemption at the right moment;
-	// retry a few runs before declaring the mechanism dead.
+	// Engagement is still scheduling-dependent; retry a few runs before
+	// declaring the mechanism dead.
 	var receives int64
-	for attempt := 0; attempt < 5 && receives == 0; attempt++ {
+	for attempt := 0; attempt < 10 && receives == 0; attempt++ {
 		receives, _ = run(true)
 	}
 	if receives == 0 {

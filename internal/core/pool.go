@@ -1,14 +1,17 @@
 // Package core implements the concurrent pool data structure the paper
 // evaluates: an unordered collection partitioned into per-processor
-// segments, with local adds and removes and a steal-half protocol driven
-// by a pluggable search algorithm (tree, linear, or random; see
-// internal/search).
+// segments, with local adds and removes and a remote steal protocol whose
+// every tunable decision — how much a steal transfers, which victims the
+// search visits, where adds land, and how those knobs adapt online — is a
+// pluggable value from internal/policy (Options.Policies). The paper's
+// configuration is the default policy.Set: steal-half over one of the
+// three search algorithms (tree, linear, or random; see internal/search).
 //
 // This is the "real" execution substrate: goroutines, mutex-protected
 // element segments, and atomic round counters, suitable for adoption as a
 // work-distribution structure. The paper's measured substrate (counter
 // segments on a simulated 16-processor Butterfly) lives in internal/sim
-// and shares the search algorithms with this package.
+// and consults the same policy.Set and search algorithms as this package.
 //
 // # Usage model
 //
@@ -36,12 +39,17 @@ import (
 
 	"pools/internal/metrics"
 	"pools/internal/numa"
+	"pools/internal/policy"
 	"pools/internal/rng"
 	"pools/internal/search"
 	"pools/internal/segment"
 )
 
 // StealPolicy selects how many elements a successful steal transfers.
+//
+// Deprecated: the enum survives as an alias for the two original
+// policies. Set Options.Policies.Steal instead, which also admits the
+// proportional and adaptive policies.
 type StealPolicy int
 
 const (
@@ -71,7 +79,16 @@ type Options struct {
 	Search search.Kind
 	// Seed drives the random search algorithm's per-process streams.
 	Seed uint64
-	// Steal selects the transfer policy. Default: StealHalf.
+	// Policies selects the pool's tunable decisions: steal amount, victim
+	// order, placement of adds, and optional online control. Nil slots
+	// take paper defaults (steal-half, the Search algorithm's order, local
+	// placement — or whole-batch gifting when DirectedAdds is set). See
+	// internal/policy.
+	Policies policy.Set
+	// Steal selects the transfer policy.
+	//
+	// Deprecated: kept as an alias for the paper's two original policies;
+	// it is consulted only when Policies.Steal is nil. Use Policies.Steal.
 	Steal StealPolicy
 	// Delay, when non-zero, injects wall-clock busy-waits per access to
 	// emulate a NUMA or loosely-coupled machine (Section 4.3's delays).
@@ -88,9 +105,12 @@ type Options struct {
 	// encountering a full segment ... could be handled in a symmetric
 	// fashion, adding remotely to a segment with sufficient capacity."
 	SegmentCap int
-	// DirectedAdds enables the paper's Section 5 hint extension: a Put
-	// that observes another process searching hands the element straight
-	// to that process's mailbox, sparing it the steal.
+	// DirectedAdds enables the paper's Section 5 hint extension: an add
+	// that observes another process searching hands elements straight to
+	// that process's mailbox, sparing it the steal. How much of a batch is
+	// gifted is the Placement policy's decision (default: the whole
+	// batch, policy.GiftAll). Setting Policies.Place also enables the
+	// mailboxes, making this flag redundant.
 	DirectedAdds bool
 }
 
@@ -116,9 +136,10 @@ type treeNode struct {
 // usable.
 type Pool[T any] struct {
 	opts    Options
+	pol     policy.Set   // resolved policies (no nil slots)
 	segs    []seg[T]
 	nodes   []treeNode   // heap-indexed tree round counters (tree search only)
-	boxes   []mailbox[T] // directed-add mailboxes (DirectedAdds only)
+	boxes   []mailbox[T] // directed-add mailboxes (directed placement only)
 	leaves  int
 	handles []*Handle[T]
 
@@ -144,15 +165,29 @@ func New[T any](opts Options) (*Pool[T], error) {
 	if opts.SegmentCap < 0 {
 		return nil, fmt.Errorf("%w: SegmentCap = %d", ErrBadOptions, opts.SegmentCap)
 	}
+	// Resolve the policy set: the deprecated enum and flag act as aliases
+	// for the two original steal policies and the gifting placement, then
+	// nil slots take paper defaults.
+	pol := opts.Policies
+	if pol.Steal == nil && opts.Steal == StealOne {
+		pol.Steal = policy.One{}
+	}
+	pol = pol.WithDefaults(opts.Search, opts.DirectedAdds)
+	// Mailboxes exist only under a placement that can actually gift:
+	// an explicit policy.Local (the no-op placement) gets the same
+	// zero-overhead pool as the zero-value configuration.
+	_, localPlace := pol.Place.(policy.Local)
+	directed := !localPlace
 	p := &Pool[T]{
 		opts:   opts,
+		pol:    pol,
 		segs:   make([]seg[T], opts.Segments),
 		leaves: search.NumLeavesFor(opts.Segments),
 	}
-	if opts.Search == search.Tree {
+	if opts.Search == search.Tree || policy.KindOf(pol.Order) == search.Tree {
 		p.nodes = make([]treeNode, 2*p.leaves)
 	}
-	if opts.DirectedAdds {
+	if directed {
 		p.boxes = make([]mailbox[T], opts.Segments)
 		for i := range p.boxes {
 			p.boxes[i].init()
@@ -163,11 +198,30 @@ func New[T any](opts Options) (*Pool[T], error) {
 		p.handles[i] = &Handle[T]{
 			pool:     p,
 			id:       i,
-			searcher: search.New(opts.Search, i, opts.Segments, rng.SubSeed(opts.Seed, i)),
+			searcher: pol.Order.Searcher(i, opts.Segments, rng.SubSeed(opts.Seed, i)),
 		}
 		p.handles[i].world.h = p.handles[i]
 	}
 	return p, nil
+}
+
+// observe feeds one remove outcome to the online controller, if any.
+func (p *Pool[T]) observe(fb policy.Feedback) {
+	if p.pol.Control != nil {
+		p.pol.Control.Observe(fb)
+	}
+}
+
+// BatchSize returns the batch size the pool's controller recommends for a
+// workload configured at current, or current itself without a controller.
+// Batch drivers consult it before every PutAll/GetN cycle, mirroring the
+// simulator's burst loop, so the adaptive policy's online batch tuning
+// behaves identically on both substrates.
+func (p *Pool[T]) BatchSize(current int) int {
+	if p.pol.Control == nil {
+		return current
+	}
+	return p.pol.Control.BatchSize(current)
 }
 
 // Segments returns the number of segments.
@@ -192,7 +246,7 @@ func (p *Pool[T]) Len() int {
 		s.mu.Unlock()
 	}
 	for i := range p.boxes {
-		total += len(p.boxes[i].slot)
+		total += int(p.boxes[i].banked.Load())
 	}
 	return total
 }
@@ -231,8 +285,8 @@ func (p *Pool[T]) Drain() []T {
 		s.mu.Unlock()
 	}
 	for i := range p.boxes {
-		if v, ok := p.boxes[i].tryTake(); ok {
-			out = append(out, v)
+		if g, ok := p.boxes[i].tryTake(); ok {
+			out = append(out, g.elements()...)
 		}
 	}
 	return out

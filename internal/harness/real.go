@@ -8,6 +8,7 @@ import (
 	"pools/internal/core"
 	"pools/internal/metrics"
 	"pools/internal/numa"
+	"pools/internal/policy"
 	"pools/internal/rng"
 	"pools/internal/search"
 	"pools/internal/workload"
@@ -26,7 +27,11 @@ type RealRunConfig struct {
 	Workload workload.Config
 	Search   search.Kind
 	Seed     uint64
-	Steal    core.StealPolicy
+	// Policies selects the pool's steal/search/placement/control policies
+	// (see core.Options.Policies). Adaptive sets carry state: construct a
+	// fresh Set per trial.
+	Policies policy.Set
+	Steal    core.StealPolicy // deprecated steal-one alias; see core.Options.Steal
 	Delay    numa.Delayer
 	Directed bool // enable the Section 5 directed-adds extension
 }
@@ -49,6 +54,7 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 		Segments:     wl.Procs,
 		Search:       cfg.Search,
 		Seed:         cfg.Seed,
+		Policies:     cfg.Policies,
 		Steal:        cfg.Steal,
 		Delay:        cfg.Delay,
 		DirectedAdds: cfg.Directed,
@@ -75,11 +81,18 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 			if wl.Model == workload.Burst {
 				batch := make([]int, wl.BatchSize)
 				for {
-					take := budget.TryClaimN(wl.BatchSize)
+					// An online controller (adaptive policy) may retune
+					// the batch between operations, exactly as in the
+					// simulator's burst loop.
+					want := p.BatchSize(wl.BatchSize)
+					if want > len(batch) {
+						batch = make([]int, want)
+					}
+					take := budget.TryClaimN(want)
 					if take == 0 {
 						break
 					}
-					if ch.Next() == metrics.OpAdd {
+					if ch.NextBatch(take) == metrics.OpAdd {
 						h.PutAll(batch[:take])
 					} else {
 						consumed := len(h.GetN(take))

@@ -15,12 +15,17 @@
 // false. (A concurrent add of that class can race past a sweep, exactly
 // as it can in the paper's pool; callers retry if their protocol expects
 // late arrivals.)
+//
+// How much of a matching bucket a steal transfers is the same pluggable
+// decision as in the plain pool: Options.Steal takes any
+// policy.StealAmount (default steal-half).
 package keyed
 
 import (
 	"fmt"
 	"sync"
 
+	"pools/internal/policy"
 	"pools/internal/segment"
 )
 
@@ -31,6 +36,10 @@ type Options struct {
 	// Sweeps is the number of full ring sweeps a searching Get performs
 	// before concluding the requested class is absent. Default 1.
 	Sweeps int
+	// Steal selects how many elements a bucket steal transfers, exactly
+	// as core.Options.Policies.Steal does for the plain pool. Default:
+	// policy.Half (the paper's steal-half).
+	Steal policy.StealAmount
 }
 
 // Pool is a concurrent pool of key-classed elements. Create with New.
@@ -57,6 +66,9 @@ func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
 	}
 	if opts.Sweeps < 0 {
 		return nil, fmt.Errorf("keyed: Sweeps = %d, need >= 0", opts.Sweeps)
+	}
+	if opts.Steal == nil {
+		opts.Steal = policy.Half{}
 	}
 	p := &Pool[K, V]{opts: opts, segs: make([]seg[K, V], opts.Segments)}
 	for i := range p.segs {
@@ -273,9 +285,10 @@ func (h *Handle[K, V]) takeLocalN(k K, max int) []V {
 	return out
 }
 
-// stealNFrom steals half of segment sIdx's class-k bucket into the local
-// segment and returns up to max of the transferred elements, leaving the
-// rest parked locally.
+// stealNFrom steals the policy-chosen share of segment sIdx's class-k
+// bucket into the local segment (the StealAmount sees max as the
+// requester's appetite) and returns up to max of the transferred
+// elements, leaving the rest parked locally.
 func (h *Handle[K, V]) stealNFrom(sIdx int, k K, max int) []V {
 	p := h.pool
 	a, b := sIdx, h.id
@@ -298,7 +311,7 @@ func (h *Handle[K, V]) stealNFrom(sIdx int, k K, max int) []V {
 		dstB = &segment.Deque[V]{}
 		dst.buckets[k] = dstB
 	}
-	moved := srcB.SplitInto(dstB)
+	moved := srcB.TakeInto(dstB, p.opts.Steal.Amount(srcB.Len(), max))
 	src.total -= moved
 	dst.total += moved
 	if srcB.Empty() {
@@ -342,7 +355,8 @@ func (h *Handle[K, V]) stealFrom(sIdx int, k K) (V, bool) {
 	return out[0], true
 }
 
-// stealAnyFrom steals half of some non-empty bucket of segment sIdx.
+// stealAnyFrom steals the policy-chosen share of some non-empty bucket of
+// segment sIdx.
 func (h *Handle[K, V]) stealAnyFrom(sIdx int) (K, V, bool) {
 	var zeroK K
 	var zeroV V
@@ -367,7 +381,7 @@ func (h *Handle[K, V]) stealAnyFrom(sIdx int) (K, V, bool) {
 			dstB = &segment.Deque[V]{}
 			dst.buckets[k] = dstB
 		}
-		moved := srcB.SplitInto(dstB)
+		moved := srcB.TakeInto(dstB, p.opts.Steal.Amount(srcB.Len(), 1))
 		src.total -= moved
 		dst.total += moved
 		if srcB.Empty() {

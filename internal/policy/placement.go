@@ -1,0 +1,60 @@
+package policy
+
+// Local keeps every added element in the adder's own segment — the
+// paper's base pool, no directed adds.
+type Local struct{}
+
+// GiftSplit implements Placement.
+func (Local) GiftSplit(int, int) int { return 0 }
+
+// Name implements Placement.
+func (Local) Name() string { return "local" }
+
+// GiftOne hands at most one element to each hungry searcher and keeps the
+// rest local — the paper's Section 5 directed-add extension applied
+// per-element: a batch arrival feeds each starving consumer one element.
+type GiftOne struct{}
+
+// GiftSplit implements Placement.
+func (GiftOne) GiftSplit(n, hungry int) int {
+	if hungry < n {
+		return hungry
+	}
+	return n
+}
+
+// Name implements Placement.
+func (GiftOne) Name() string { return "gift-one" }
+
+// GiftHalf gifts ceil(n/2) of a batch to hungry searchers and keeps the
+// other half local — the steal-half intuition applied on the add side:
+// balance reserves between the producer and the starving consumers.
+type GiftHalf struct{}
+
+// GiftSplit implements Placement.
+func (GiftHalf) GiftSplit(n, hungry int) int {
+	if hungry == 0 {
+		return 0
+	}
+	return (n + 1) / 2
+}
+
+// Name implements Placement.
+func (GiftHalf) Name() string { return "gift-half" }
+
+// GiftAll gifts the entire batch whenever anyone is hungry, split evenly
+// among the hungry searchers — the batch-aware directed add: a PutAll
+// that observes searchers hands them whole slices, sparing each an entire
+// search instead of a single element's worth.
+type GiftAll struct{}
+
+// GiftSplit implements Placement.
+func (GiftAll) GiftSplit(n, hungry int) int {
+	if hungry == 0 {
+		return 0
+	}
+	return n
+}
+
+// Name implements Placement.
+func (GiftAll) Name() string { return "gift-all" }

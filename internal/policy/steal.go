@@ -1,0 +1,47 @@
+package policy
+
+// Half is the paper's steal policy: take ceil(n/2) of the victim's
+// elements, "trying to balance the available reserves and prevent its next
+// request from also having to perform a search". A single remaining
+// element is taken outright.
+type Half struct{}
+
+// Amount implements StealAmount.
+func (Half) Amount(n, _ int) int { return clamp((n+1)/2, n) }
+
+// Name implements StealAmount.
+func (Half) Name() string { return "steal-half" }
+
+// One takes a single element per steal — the ablation the paper's design
+// argues against: it leaves the victim's reserves intact but guarantees
+// the thief's very next remove searches again.
+type One struct{}
+
+// Amount implements StealAmount.
+func (One) Amount(n, _ int) int { return clamp(1, n) }
+
+// Name implements StealAmount.
+func (One) Name() string { return "steal-one" }
+
+// Proportional scales the transfer with the requester's appetite: a GetN
+// asking for k elements steals about Factor*k, so batch consumers haul
+// batch-sized chunks while single-element consumers behave like steal-one.
+// This is the ROADMAP's "split proportionally to the requester's max".
+type Proportional struct {
+	// Factor scales the requested batch size; 0 means 1.0 (take exactly
+	// what was asked for, up to the victim's holdings).
+	Factor float64
+}
+
+// Amount implements StealAmount.
+func (p Proportional) Amount(n, want int) int {
+	f := p.Factor
+	if f <= 0 {
+		f = 1
+	}
+	k := int(f*float64(want) + 0.5)
+	return clamp(k, n)
+}
+
+// Name implements StealAmount.
+func (Proportional) Name() string { return "proportional" }

@@ -57,22 +57,29 @@ func (d *Deque[T]) Remove() (T, bool) {
 	return v, true
 }
 
-// AddAll inserts every element of vs. It grows the buffer at most once, so
-// a batch of k elements costs one capacity check instead of k — the
-// structural half of the batch-amortization the pool's PutAll exposes.
+// AddAll inserts every element of vs. It grows the buffer at most once
+// and bulk-copies in at most two contiguous spans (the ring wrap), so a
+// batch of k elements costs one capacity check and two copies instead of
+// k per-element stores — the structural half of the batch-amortization
+// the pool's PutAll exposes.
 func (d *Deque[T]) AddAll(vs []T) {
 	if len(vs) == 0 {
 		return
 	}
 	d.grow(len(vs))
-	for _, v := range vs {
-		d.buf[(d.head+d.n)%len(d.buf)] = v
-		d.n++
+	start := d.head + d.n
+	if start >= len(d.buf) {
+		start -= len(d.buf)
 	}
+	copied := copy(d.buf[start:], vs)
+	copy(d.buf, vs[copied:])
+	d.n += len(vs)
 }
 
 // RemoveN extracts up to k elements (the most recently added first) and
-// returns them. It returns nil when k <= 0 or the segment is empty.
+// returns them. It returns nil when k <= 0 or the segment is empty. The
+// tail walk keeps the ring index with compare-and-wrap arithmetic rather
+// than a modulo per element.
 func (d *Deque[T]) RemoveN(k int) []T {
 	if k > d.n {
 		k = d.n
@@ -80,14 +87,18 @@ func (d *Deque[T]) RemoveN(k int) []T {
 	if k <= 0 {
 		return nil
 	}
-	out := make([]T, 0, k)
+	out := make([]T, k)
 	var zero T
+	idx := (d.head + d.n - 1) % len(d.buf)
 	for i := 0; i < k; i++ {
-		idx := (d.head + d.n - 1) % len(d.buf)
-		out = append(out, d.buf[idx])
+		out[i] = d.buf[idx]
 		d.buf[idx] = zero // release for GC
-		d.n--
+		if idx == 0 {
+			idx = len(d.buf)
+		}
+		idx--
 	}
+	d.n -= k
 	if d.n == 0 {
 		d.head = 0
 	}

@@ -1,20 +1,30 @@
 package segment
 
-import "testing"
+import (
+	"testing"
+
+	"pools/internal/policy"
+)
 
 // FuzzDequeScript interprets a byte script as deque operations and checks
-// conservation and agreement with the Counter segment at every step.
+// conservation and agreement with the Counter segment at every step. The
+// opcode space includes the policy-driven steal paths: a RemoveN/TakeInto
+// whose k is chosen by the proportional and adaptive StealAmount policies,
+// exactly as the pools' steal slow paths size their transfers.
 func FuzzDequeScript(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 2, 0, 3, 1, 1})
 	f.Add([]byte{2, 2, 2})
 	f.Add([]byte{4, 4, 5, 4, 5, 5})
+	f.Add([]byte{0, 0, 0, 6, 0, 7, 6, 7})
+	f.Add([]byte{4, 6, 6, 6, 1, 7, 7, 7})
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, script []byte) {
 		var d, dDst Deque[int]
 		var c, cDst Counter
+		adaptive := policy.NewAdaptive()
 		next := 0
 		for _, op := range script {
-			switch op % 6 {
+			switch op % 8 {
 			case 0:
 				d.Add(next)
 				c.Add(1)
@@ -30,12 +40,12 @@ func FuzzDequeScript(f *testing.F) {
 					t.Fatal("Split disagreement")
 				}
 			case 3:
-				k := int(op) / 6
+				k := int(op) / 8
 				if d.TakeInto(&dDst, k) != c.TakeInto(&cDst, k) {
 					t.Fatal("Take disagreement")
 				}
 			case 4:
-				k := int(op) / 6
+				k := int(op) / 8
 				batch := make([]int, k)
 				for i := range batch {
 					batch[i] = next
@@ -44,7 +54,7 @@ func FuzzDequeScript(f *testing.F) {
 				d.AddAll(batch)
 				c.Add(int64(k))
 			case 5:
-				k := int(op) / 6
+				k := int(op) / 8
 				got := d.RemoveN(k)
 				if len(got) != c.RemoveN(k) {
 					t.Fatal("RemoveN disagreement")
@@ -61,6 +71,41 @@ func FuzzDequeScript(f *testing.F) {
 				// them exactly once.
 				dDst.AddAll(got)
 				cDst.Add(int64(len(got)))
+			case 6:
+				// Proportional steal: k chosen by the policy from the
+				// victim's size and a script-derived appetite, mirrored on
+				// the counter model (sizes agree, so k does too).
+				if d.Len() == 0 {
+					continue
+				}
+				want := int(op)/8 + 1
+				k := policy.Proportional{}.Amount(d.Len(), want)
+				if k < 1 || k > d.Len() {
+					t.Fatalf("proportional Amount(%d, %d) = %d out of range", d.Len(), want, k)
+				}
+				if d.TakeInto(&dDst, k) != c.TakeInto(&cDst, k) {
+					t.Fatal("proportional steal disagreement")
+				}
+			case 7:
+				// Adaptive steal: the controller's fraction evolves with
+				// script-driven feedback, and its chosen k drives the same
+				// transfer on both representations.
+				adaptive.Observe(policy.Feedback{
+					Stole:    op&16 != 0,
+					Examined: int(op) / 32,
+					Got:      1,
+				})
+				if d.Len() == 0 {
+					continue
+				}
+				want := int(op)/64 + 1
+				k := adaptive.Amount(d.Len(), want)
+				if k < 1 || k > d.Len() {
+					t.Fatalf("adaptive Amount(%d, %d) = %d out of range", d.Len(), want, k)
+				}
+				if d.TakeInto(&dDst, k) != c.TakeInto(&cDst, k) {
+					t.Fatal("adaptive steal disagreement")
+				}
 			}
 			if d.Len() != c.Len() || dDst.Len() != cDst.Len() {
 				t.Fatalf("size divergence: %d/%d %d/%d", d.Len(), c.Len(), dDst.Len(), cDst.Len())

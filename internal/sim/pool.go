@@ -5,6 +5,7 @@ import (
 
 	"pools/internal/metrics"
 	"pools/internal/numa"
+	"pools/internal/policy"
 	"pools/internal/rng"
 	"pools/internal/search"
 	"pools/internal/segment"
@@ -16,8 +17,16 @@ type PoolConfig struct {
 	Search search.Kind    // steal-search algorithm
 	Costs  numa.CostModel // access cost model (numa.ButterflyCosts())
 	Seed   uint64         // drives the random search algorithm
+	// Policies selects the pool's tunable decisions (steal amount, victim
+	// order, online control), exactly as core.Options.Policies does for
+	// the real pool; nil slots take paper defaults. Placement policies are
+	// ignored: the simulated pool has no directed-add mailboxes.
+	Policies policy.Set
 	// StealOne switches the transfer policy from the paper's steal-half
 	// to steal-one (ablation).
+	//
+	// Deprecated: consulted only when Policies.Steal is nil; use
+	// Policies.Steal.
 	StealOne bool
 	// Trace enables per-segment size traces (Figures 3-6).
 	Trace bool
@@ -29,6 +38,7 @@ type PoolConfig struct {
 // (counter-only segments) corresponds to Pool[Token].
 type Pool[T any] struct {
 	cfg    PoolConfig
+	pol    policy.Set // resolved policies (no nil slots)
 	leaves int
 
 	segs    []segment.Deque[T]
@@ -58,9 +68,15 @@ func NewPool[T any](cfg PoolConfig) *Pool[T] {
 	if cfg.Search == 0 {
 		cfg.Search = search.Linear
 	}
+	pol := cfg.Policies
+	if pol.Steal == nil && cfg.StealOne {
+		pol.Steal = policy.One{}
+	}
+	pol = pol.WithDefaults(cfg.Search, false)
 	leaves := search.NumLeavesFor(cfg.Procs)
 	p := &Pool[T]{
 		cfg:          cfg,
+		pol:          pol,
 		leaves:       leaves,
 		segs:         make([]segment.Deque[T], cfg.Procs),
 		segRes:       make([]Resource, cfg.Procs),
@@ -70,7 +86,7 @@ func NewPool[T any](cfg PoolConfig) *Pool[T] {
 	for i := range p.segRes {
 		p.segRes[i].Name = fmt.Sprintf("segment-%d", i)
 	}
-	if cfg.Search == search.Tree {
+	if cfg.Search == search.Tree || policy.KindOf(pol.Order) == search.Tree {
 		p.rounds = make([]uint64, 2*leaves)
 		p.nodeRes = make([]Resource, 2*leaves)
 		for i := range p.nodeRes {
@@ -81,6 +97,24 @@ func NewPool[T any](cfg PoolConfig) *Pool[T] {
 		p.traces = make([]metrics.Trace, cfg.Procs)
 	}
 	return p
+}
+
+// observe feeds one remove outcome to the online controller, if any.
+func (p *Pool[T]) observe(fb policy.Feedback) {
+	if p.pol.Control != nil {
+		p.pol.Control.Observe(fb)
+	}
+}
+
+// BatchSize returns the batch size the pool's controller recommends for a
+// workload configured at current, or current itself without a controller.
+// The burst driver consults it before every batched operation, which is
+// how the adaptive policy's online batch tuning reaches the run.
+func (p *Pool[T]) BatchSize(current int) int {
+	if p.pol.Control == nil {
+		return current
+	}
+	return p.pol.Control.BatchSize(current)
 }
 
 // Seed deposits n elements round-robin across the segments before the run
@@ -147,7 +181,7 @@ func (p *Pool[T]) Proc(env *Env) *Proc[T] {
 		pool:     p,
 		env:      env,
 		id:       id,
-		searcher: search.New(p.cfg.Search, id, p.cfg.Procs, rng.SubSeed(p.cfg.Seed, id)),
+		searcher: p.pol.Order.Searcher(id, p.cfg.Procs, rng.SubSeed(p.cfg.Seed, id)),
 	}
 	pr.world = simWorld[T]{proc: pr}
 	return pr
@@ -208,13 +242,15 @@ func (pr *Proc[T]) GetN(max int) []T {
 	if out := p.segs[pr.id].RemoveN(max); len(out) > 0 {
 		p.recordTrace(pr.env, pr.id)
 		pr.stats.RecordBatchLocalRemove(pr.env.Now()-start, len(out))
+		p.observe(policy.Feedback{Got: len(out), Elapsed: pr.env.Now() - start})
 		return out
 	}
 
 	searchStart := pr.env.Now()
-	res := pr.searchSteal()
+	res := pr.searchSteal(max)
 	if res.Got == 0 {
 		pr.stats.RecordAbort(pr.env.Now() - start)
+		p.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: pr.env.Now() - start})
 		return nil
 	}
 	out := make([]T, 1, max)
@@ -224,6 +260,7 @@ func (pr *Proc[T]) GetN(max int) []T {
 		p.recordTrace(pr.env, pr.id)
 	}
 	pr.stats.RecordBatchStealRemove(pr.env.Now()-start, pr.env.Now()-searchStart, res.Examined, res.Got, len(out))
+	p.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: pr.env.Now() - start})
 	return out
 }
 
@@ -238,27 +275,33 @@ func (pr *Proc[T]) Get() (T, bool) {
 	if v, ok := p.segs[pr.id].Remove(); ok {
 		p.recordTrace(pr.env, pr.id)
 		pr.stats.RecordLocalRemove(pr.env.Now() - start)
+		p.observe(policy.Feedback{Got: 1, Elapsed: pr.env.Now() - start})
 		return v, true
 	}
 
 	searchStart := pr.env.Now()
-	res := pr.searchSteal()
+	res := pr.searchSteal(1)
 	if res.Got == 0 {
 		pr.stats.RecordAbort(pr.env.Now() - start)
+		p.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: pr.env.Now() - start})
 		return zero, false
 	}
 	v := pr.world.takeReserved()
 	pr.stats.RecordStealRemove(pr.env.Now()-start, pr.env.Now()-searchStart, res.Examined, res.Got)
+	p.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: pr.env.Now() - start})
 	return v, true
 }
 
 // searchSteal is the slow path shared by Get and GetN: bump the shared
 // lookers counter (a remote shared object on the Butterfly), search, and
-// drop the counter, charging both shared accesses. On success the stolen
-// elements are in the local segment with one reserved in pr.world.
-func (pr *Proc[T]) searchSteal() search.Result {
+// drop the counter, charging both shared accesses. want is the
+// requesting operation's appetite, consulted by the StealAmount policy.
+// On success the stolen elements are in the local segment with one
+// reserved in pr.world.
+func (pr *Proc[T]) searchSteal(want int) search.Result {
 	p := pr.pool
 	pr.world.resetCoverage()
+	pr.world.want = want
 	pr.env.Charge(&p.counter, p.cfg.Costs.Cost(numa.AccessShared, pr.id, -1))
 	p.lookers++
 	res := pr.searcher.Search(&pr.world)
@@ -273,6 +316,7 @@ type simWorld[T any] struct {
 	proc     *Proc[T]
 	reserved T
 	has      bool
+	want     int // the in-flight operation's appetite (Get: 1, GetN: max)
 	failed   int // consecutive fruitless probes in the current search
 }
 
@@ -324,8 +368,9 @@ func (w *simWorld[T]) Aborted() bool {
 	return false
 }
 
-// TrySteal implements search.World: probe (remote) segment s and split
-// half into the local segment, reserving one element.
+// TrySteal implements search.World: probe (remote) segment s and move the
+// StealAmount policy's share into the local segment, reserving one
+// element.
 func (w *simWorld[T]) TrySteal(s int) int {
 	pr := w.proc
 	p := pr.pool
@@ -350,12 +395,7 @@ func (w *simWorld[T]) TrySteal(s int) int {
 		return 0
 	}
 	env.Charge(&p.segRes[s], p.cfg.Costs.Cost(numa.AccessSplit, pr.id, s))
-	var moved int
-	if p.cfg.StealOne {
-		moved = p.segs[s].TakeInto(&p.segs[pr.id], 1)
-	} else {
-		moved = p.segs[s].SplitInto(&p.segs[pr.id])
-	}
+	moved := p.segs[s].TakeInto(&p.segs[pr.id], p.pol.Steal.Amount(n, w.want))
 	w.reserved, _ = p.segs[pr.id].Remove()
 	w.has = true
 	w.resetCoverage()

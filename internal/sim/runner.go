@@ -3,6 +3,7 @@ package sim
 import (
 	"pools/internal/metrics"
 	"pools/internal/numa"
+	"pools/internal/policy"
 	"pools/internal/search"
 	"pools/internal/workload"
 )
@@ -15,6 +16,11 @@ type RunConfig struct {
 	Search   search.Kind
 	Costs    numa.CostModel
 	Seed     uint64
+	// Policies selects the pool's steal/search/control policies for this
+	// trial. Adaptive sets carry state: construct a fresh Set per trial
+	// (policy.Named does).
+	Policies policy.Set
+	// StealOne is the deprecated steal-one alias; see PoolConfig.StealOne.
 	StealOne bool
 	Trace    bool
 }
@@ -48,6 +54,7 @@ func Run(cfg RunConfig) RunResult {
 		Search:   cfg.Search,
 		Costs:    cfg.Costs,
 		Seed:     cfg.Seed,
+		Policies: cfg.Policies,
 		StealOne: cfg.StealOne,
 		Trace:    cfg.Trace,
 	})
@@ -80,12 +87,14 @@ func Run(cfg RunConfig) RunResult {
 					// claims up to BatchSize units in one shared-counter
 					// access and refunds what it could not move, so
 					// Ops()+Aborts == TotalOps holds at every batch size.
-					take := wl.BatchSize
+					// An online controller (adaptive policy) may retune the
+					// batch between operations.
+					take := pool.BatchSize(wl.BatchSize)
 					if take > budget {
 						take = budget
 					}
 					budget -= take
-					if ch.Next() == metrics.OpAdd {
+					if ch.NextBatch(take) == metrics.OpAdd {
 						pr.PutAll(make([]Token, take))
 					} else {
 						consumed := len(pr.GetN(take))

@@ -108,9 +108,13 @@ type Config struct {
 	Producers   int
 	Arrangement Arrangement
 
-	// RoleFlipEvery, when positive under ProducerConsumer, rotates the
-	// producer set by one position after every RoleFlipEvery operations a
-	// process performs — the dynamic-roles extension.
+	// RoleFlipEvery, when positive under ProducerConsumer or Burst,
+	// rotates the producer set by one position after every RoleFlipEvery
+	// elements a process moves — the dynamic-roles extension. Under the
+	// single-element model an operation moves one element; under Burst a
+	// batched operation advances the per-process count by BatchSize, so
+	// the cadence stays element-denominated (and meaningful) at every
+	// batch size.
 	RoleFlipEvery int
 
 	// BatchSize is the number of elements each Burst operation moves
@@ -198,8 +202,7 @@ type Chooser struct {
 	proc     int
 	rng      *rng.Xoshiro256
 	producer bool
-	ops      int
-	rotation int
+	ops      int // elements this process has moved (the role-flip clock)
 }
 
 // NewChooser returns the operation chooser for processor proc, seeded
@@ -213,9 +216,32 @@ func NewChooser(cfg Config, proc int, trialSeed uint64) *Chooser {
 	}
 }
 
-// Next returns the next operation kind for this process.
+// Next returns the next operation kind for this process. The role-flip
+// clock advances per element the operation intends to move: one for the
+// single-element models, BatchSize for Burst. Burst drivers whose actual
+// batch differs from the configured size (an adaptive controller may
+// raise it) should use NextBatch instead so the cadence stays honest.
 func (ch *Chooser) Next() metrics.OpKind {
-	ch.ops++
+	step := 1
+	if ch.cfg.Model == Burst && ch.cfg.BatchSize > 1 {
+		step = ch.cfg.BatchSize
+	}
+	return ch.next(step)
+}
+
+// NextBatch returns the next operation kind for a batched operation about
+// to move up to take elements, advancing the role-flip clock by take.
+func (ch *Chooser) NextBatch(take int) metrics.OpKind {
+	if take < 1 {
+		take = 1
+	}
+	return ch.next(take)
+}
+
+// next advances the role-flip clock by step elements and draws the
+// operation kind.
+func (ch *Chooser) next(step int) metrics.OpKind {
+	ch.ops += step
 	switch ch.cfg.Model {
 	case ProducerConsumer, Burst:
 		producer := ch.producer

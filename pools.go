@@ -40,6 +40,25 @@
 // times the per-element cost of the single-element loop (see
 // BenchmarkBatchPutGet and the `poolbench -exp burst` sweep).
 //
+// # Policies
+//
+// Every tunable decision in the pool is a pluggable value on
+// Options.Policies (a PolicySet): how many elements a steal transfers
+// (StealAmount — the paper's steal-half, the steal-one ablation, a split
+// proportional to the requester's batch, or an online-tuned adaptive
+// fraction), which victims a search visits (VictimOrder, layered over the
+// three search algorithms), where adds land (Placement — local, or gifted
+// whole or split to hungry searchers through the directed-add mailboxes),
+// and an optional Controller that retunes the steal fraction and batch
+// size from live feedback:
+//
+//	set, _ := pools.PolicyByName("adaptive")
+//	p, _ := pools.New[Task](pools.Options{Segments: 8, Policies: set})
+//
+// The zero PolicySet is the paper's configuration. The same sets drive
+// the simulated Butterfly, so `poolbench -exp policy` measures exactly
+// the policies this library executes.
+//
 // The packages under internal/ hold the implementation, the simulated
 // 16-processor Butterfly used to reproduce the paper's measurements, the
 // experiment harness (cmd/poolbench regenerates every table and figure),
@@ -48,6 +67,7 @@ package pools
 
 import (
 	"pools/internal/core"
+	"pools/internal/policy"
 	"pools/internal/search"
 )
 
@@ -61,13 +81,70 @@ type Handle[T any] = core.Handle[T]
 type Options = core.Options
 
 // StealPolicy selects how many elements a steal transfers.
+//
+// Deprecated: the enum covers only the paper's two original policies and
+// is consulted only when Options.Policies.Steal is nil. Use
+// Options.Policies (see PolicySet).
 type StealPolicy = core.StealPolicy
 
 // Steal policies: the paper's steal-half, and steal-one for comparison.
+//
+// Deprecated: see StealPolicy.
 const (
 	StealHalf = core.StealHalf
 	StealOne  = core.StealOne
 )
+
+// PolicySet bundles the pool's pluggable decisions: steal amount, victim
+// order, placement, and online control. See internal/policy for the
+// catalog of implementations.
+type PolicySet = policy.Set
+
+// The four policy decision points. Custom implementations plug into a
+// PolicySet alongside the built-ins.
+type (
+	// StealAmount decides how many elements a steal transfers.
+	StealAmount = policy.StealAmount
+	// VictimOrder decides which segments a search visits, in what order.
+	VictimOrder = policy.VictimOrder
+	// Placement decides how much of an added batch is gifted to hungry
+	// searchers rather than kept local.
+	Placement = policy.Placement
+	// Controller retunes steal fraction and batch size from feedback.
+	Controller = policy.Controller
+)
+
+// Built-in steal amounts and placements, re-exported for configuration
+// literals like Options{Policies: PolicySet{Steal: ProportionalSteal{}}}.
+type (
+	// StealHalfAmount is the paper's steal-half (ceil(n/2)).
+	StealHalfAmount = policy.Half
+	// StealOneAmount is the steal-one ablation.
+	StealOneAmount = policy.One
+	// ProportionalSteal steals about Factor times the requester's batch.
+	ProportionalSteal = policy.Proportional
+	// AdaptiveSteal tunes its fraction online; see NewAdaptivePolicy.
+	AdaptiveSteal = policy.Adaptive
+	// GiftAllPlacement gifts whole batches to hungry searchers.
+	GiftAllPlacement = policy.GiftAll
+	// GiftHalfPlacement gifts half of each batch and keeps half local.
+	GiftHalfPlacement = policy.GiftHalf
+	// GiftOnePlacement gifts one element per hungry searcher.
+	GiftOnePlacement = policy.GiftOne
+	// LocalPlacement keeps every add in the adder's own segment.
+	LocalPlacement = policy.Local
+	// SearchOrder is the VictimOrder wrapping a search algorithm, e.g.
+	// SearchOrder{Kind: SearchTree}.
+	SearchOrder = policy.Order
+)
+
+// NewAdaptivePolicy returns a fresh adaptive steal policy/controller pair
+// (one per pool; adaptive state must not be shared between pools).
+func NewAdaptivePolicy() *AdaptiveSteal { return policy.NewAdaptive() }
+
+// PolicyByName returns a fresh PolicySet for a steal-policy name: "half",
+// "one", "proportional", or "adaptive".
+func PolicyByName(name string) (PolicySet, error) { return policy.Named(name) }
 
 // SearchKind selects the steal-search algorithm.
 type SearchKind = search.Kind

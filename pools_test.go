@@ -61,6 +61,71 @@ func TestPublicAPIStealPolicies(t *testing.T) {
 	}
 }
 
+func TestPublicAPIPolicySet(t *testing.T) {
+	// Configure a proportional steal through the policy layer: a GetN(4)
+	// against a remote reserve of 40 steals exactly the 4 it asked for.
+	p, err := pools.New[int](pools.Options{
+		Segments: 4,
+		Policies: pools.PolicySet{Steal: pools.ProportionalSteal{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer := p.Handle(2)
+	producer.PutAll(make([]int, 40))
+	if out := p.Handle(0).GetN(4); len(out) != 4 {
+		t.Fatalf("GetN(4) = %d elements", len(out))
+	}
+	if got := p.SegmentLen(0); got != 0 {
+		t.Fatalf("proportional steal parked %d locally, want 0", got)
+	}
+
+	// The named registry builds every advertised policy.
+	for _, name := range []string{"half", "one", "proportional", "adaptive"} {
+		set, err := pools.PolicyByName(name)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+		if _, err := pools.New[int](pools.Options{Segments: 2, Policies: set}); err != nil {
+			t.Fatalf("New with %q policies: %v", name, err)
+		}
+	}
+	if _, err := pools.PolicyByName("bogus"); err == nil {
+		t.Fatal("PolicyByName(bogus) succeeded")
+	}
+	if pools.NewAdaptivePolicy() == pools.NewAdaptivePolicy() {
+		t.Fatal("NewAdaptivePolicy returned a shared instance")
+	}
+
+	// Every shipped placement and the victim order are reachable through
+	// the public facade.
+	p3, err := pools.New[int](pools.Options{
+		Segments: 2,
+		Policies: pools.PolicySet{
+			Steal: pools.StealHalfAmount{},
+			Order: pools.SearchOrder{Kind: pools.SearchTree},
+			Place: pools.GiftHalfPlacement{},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3.Handle(0).Put(1)
+	if v, ok := p3.Handle(1).Get(); !ok || v != 1 {
+		t.Fatalf("Get through policy-configured pool = (%d,%v)", v, ok)
+	}
+	for _, place := range []pools.Placement{
+		pools.LocalPlacement{}, pools.GiftOnePlacement{}, pools.GiftAllPlacement{},
+	} {
+		if _, err := pools.New[int](pools.Options{
+			Segments: 2,
+			Policies: pools.PolicySet{Place: place},
+		}); err != nil {
+			t.Fatalf("New with placement %s: %v", place.Name(), err)
+		}
+	}
+}
+
 func TestPublicAPIConcurrentWorkers(t *testing.T) {
 	const workers = 4
 	p, err := pools.New[int](pools.Options{Segments: workers, Search: pools.SearchTree})
