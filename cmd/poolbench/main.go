@@ -4,13 +4,16 @@
 // Usage:
 //
 //	poolbench -exp fig2                 # one experiment
-//	poolbench -exp all                  # everything (EXPERIMENTS.md source)
+//	poolbench -exp all                  # everything (docs/EXPERIMENTS.md catalog)
 //	poolbench -exp fig7 -trials 3       # faster, noisier
 //	poolbench -exp app -depth 2         # smaller game tree
 //	poolbench -exp policy -csv          # steal-policy sweep + CSV
+//	poolbench -exp locality -csv        # victim orders under clustered delays
+//	poolbench -exp trace -csv           # per-handle controller trajectories
 //
 // Experiments: fig2, fig3, fig4, fig5, fig6, fig7, algos, arrange, delay,
-// steal, roles, burst, policy, app, all.
+// steal, roles, burst, policy, locality, trace, app, all. See
+// docs/EXPERIMENTS.md for what each reproduces and its expected shape.
 package main
 
 import (
@@ -34,7 +37,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("poolbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|policy|app|all")
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|policy|locality|trace|app|all")
 	trials := fs.Int("trials", workload.PaperTrials, "trials averaged per data point")
 	seed := fs.Uint64("seed", 1989, "master seed")
 	ops := fs.Int("ops", workload.PaperTotalOps, "operations per trial")
@@ -131,6 +134,22 @@ var experiments = []experiment{
 		out := harness.RenderPolicy(search.Tree, rows) + "\n" + harness.RenderPolicyFluct(16, fluct)
 		if csv {
 			out += "\n" + harness.PolicyCSV(rows) + "\n" + harness.PolicyFluctCSV(fluct)
+		}
+		return out
+	}},
+	{"locality", "locality-aware victim order vs the blind searches under clustered remote delays", func(cfg harness.Config, _ int, csv bool) string {
+		rows := harness.LocalitySweep(cfg, harness.LocalityScales())
+		out := harness.RenderLocality(rows)
+		if csv {
+			out += "\n" + harness.LocalityCSV(rows)
+		}
+		return out
+	}},
+	{"trace", "controller trajectories: per-handle steal fraction & batch size over virtual time", func(cfg harness.Config, _ int, csv bool) string {
+		res := harness.ControlTraceRun(cfg, search.Tree, 5, 1)
+		out := harness.RenderControlTrace(res)
+		if csv {
+			out += "\n" + harness.ControlTraceCSV(res)
 		}
 		return out
 	}},

@@ -78,3 +78,31 @@ func TestRunBurstExperiment(t *testing.T) {
 		}
 	}
 }
+
+func TestRunLocalityExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "locality", "-trials", "1", "-ops", "600", "-fill", "64", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"## locality", "clustered", "vs best blind", "order,delay_us"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("locality output missing %q", want)
+		}
+	}
+}
+
+func TestRunTraceExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "trace", "-trials", "1", "-ops", "1200", "-fill", "96", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"## trace", "Controller trajectories", "final steal fraction", "handle,role,sample"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace output missing %q", want)
+		}
+	}
+}

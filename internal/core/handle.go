@@ -18,6 +18,8 @@ import (
 type Handle[T any] struct {
 	pool       *Pool[T]
 	id         int
+	ctl        policy.Controller  // this handle's controller (its own instance under per-handle sets)
+	steal      policy.StealAmount // this handle's steal amount (the spawned controller under per-handle sets)
 	searcher   search.Searcher
 	world      world[T]
 	stats      metrics.PoolStats
@@ -27,6 +29,32 @@ type Handle[T any] struct {
 
 // ID returns the handle's segment index.
 func (h *Handle[T]) ID() int { return h.id }
+
+// observe feeds one remove outcome to this handle's controller, if any.
+// Under a per-handle policy set each handle tunes from its own feedback
+// stream; under a pool-wide set every handle feeds the shared controller.
+func (h *Handle[T]) observe(fb policy.Feedback) {
+	if h.ctl != nil {
+		h.ctl.Observe(fb)
+	}
+}
+
+// BatchSize returns the batch size this handle's controller recommends
+// for a workload configured at current, or current itself without a
+// controller. Batch drivers consult it before every PutAll/GetN cycle,
+// mirroring the simulator's burst loop, so online batch tuning behaves
+// identically on both substrates — and, under per-handle sets, every
+// handle recommends from its own observed workload.
+func (h *Handle[T]) BatchSize(current int) int {
+	if h.ctl == nil {
+		return current
+	}
+	return h.ctl.BatchSize(current)
+}
+
+// Controller returns this handle's controller (nil when the policy set
+// has none), for observability and controller-trajectory traces.
+func (h *Handle[T]) Controller() policy.Controller { return h.ctl }
 
 // Register marks this handle as a participant in the pool's operations.
 // Participation is what the abort rule counts: a Get aborts when every
@@ -91,9 +119,34 @@ func sinceMicros(start time.Time) int64 {
 	return time.Since(start).Microseconds()
 }
 
+// directTarget consults the Director placement (when the pool has one)
+// for where an add of n elements should land, charging one probe delay
+// per examined segment — probing is not free, exactly as in the
+// simulator. Out-of-range answers keep the add local.
+func (h *Handle[T]) directTarget(n int) int {
+	p := h.pool
+	if p.dir == nil {
+		return h.id
+	}
+	t := p.dir.Direct(h.id, len(p.segs), n, func(s int) int {
+		p.opts.Delay.Delay(numa.AccessProbe, h.id, s)
+		seg := &p.segs[s]
+		seg.mu.Lock()
+		l := seg.dq.Len()
+		seg.mu.Unlock()
+		return l
+	})
+	if t < 0 || t >= len(p.segs) {
+		return h.id
+	}
+	return t
+}
+
 // Put adds an element to the pool: into a hungry searcher's mailbox when
-// the Placement policy directs it there, otherwise into the local
-// segment. It never fails and never blocks on other segments.
+// the Placement policy directs it there, into the segment a Director
+// placement (e.g. policy.GiftToEmptiest) selects, otherwise into the
+// local segment. It never fails and never blocks on other segments'
+// operations beyond the placement's own probes.
 func (h *Handle[T]) Put(v T) {
 	h.Register()
 	p := h.pool
@@ -106,8 +159,9 @@ func (h *Handle[T]) Put(v T) {
 		}
 		return
 	}
-	p.opts.Delay.Delay(numa.AccessAdd, h.id, h.id)
-	s := &p.segs[h.id]
+	target := h.directTarget(1)
+	p.opts.Delay.Delay(numa.AccessAdd, h.id, target)
+	s := &p.segs[target]
 	s.mu.Lock()
 	s.dq.Add(v)
 	s.mu.Unlock()
@@ -117,14 +171,15 @@ func (h *Handle[T]) Put(v T) {
 	}
 }
 
-// PutAll adds every element of items to the local segment under a single
-// lock acquisition, amortizing the lock (and any NUMA add delay) over the
+// PutAll adds every element of items to one segment under a single lock
+// acquisition, amortizing the lock (and any NUMA add delay) over the
 // whole batch. With directed adds enabled, a leading portion of the batch
 // — the Placement policy's choice, by default the whole slice — is gifted
 // to hungry searchers first, split evenly among them, so a batch arrival
-// can hand each starving consumer an entire reserve; only the remainder
-// takes the segment lock. PutAll of an empty slice is a no-op. The items
-// slice is not retained.
+// can hand each starving consumer an entire reserve; the remainder lands
+// on the segment a Director placement selects (the local segment
+// otherwise). PutAll of an empty slice is a no-op. The items slice is not
+// retained.
 func (h *Handle[T]) PutAll(items []T) {
 	if len(items) == 0 {
 		return
@@ -146,8 +201,9 @@ func (h *Handle[T]) PutAll(items []T) {
 			return
 		}
 	}
-	p.opts.Delay.Delay(numa.AccessAdd, h.id, h.id)
-	s := &p.segs[h.id]
+	target := h.directTarget(len(items) - gifted)
+	p.opts.Delay.Delay(numa.AccessAdd, h.id, target)
+	s := &p.segs[target]
 	s.mu.Lock()
 	s.dq.AddAll(items[gifted:])
 	s.mu.Unlock()
@@ -232,7 +288,7 @@ func (h *Handle[T]) Get() (T, bool) {
 		if p.opts.CollectStats {
 			h.stats.RecordLocalRemove(sinceMicros(start))
 		}
-		p.observe(policy.Feedback{Got: 1, Elapsed: sinceMicros(start)})
+		h.observe(policy.Feedback{Got: 1, Elapsed: sinceMicros(start)})
 		return v, true
 	}
 
@@ -247,20 +303,20 @@ func (h *Handle[T]) Get() (T, bool) {
 				h.stats.DirectedReceives += int64(g.count())
 				h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, g.count())
 			}
-			p.observe(policy.Feedback{Examined: res.Examined, Got: g.count(), Elapsed: sinceMicros(start)})
+			h.observe(policy.Feedback{Examined: res.Examined, Got: g.count(), Elapsed: sinceMicros(start)})
 			return v, true
 		}
 		if p.opts.CollectStats {
 			h.stats.RecordAbort(sinceMicros(start))
 		}
-		p.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: sinceMicros(start)})
+		h.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: sinceMicros(start)})
 		return zero, false
 	}
 	v = h.world.takeReserved()
 	if p.opts.CollectStats {
 		h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, res.Got)
 	}
-	p.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: sinceMicros(start)})
+	h.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: sinceMicros(start)})
 	return v, true
 }
 
@@ -349,7 +405,7 @@ func (h *Handle[T]) GetN(max int) []T {
 		if p.opts.CollectStats {
 			h.stats.RecordBatchLocalRemove(sinceMicros(start), len(out))
 		}
-		p.observe(policy.Feedback{Got: len(out), Elapsed: sinceMicros(start)})
+		h.observe(policy.Feedback{Got: len(out), Elapsed: sinceMicros(start)})
 		return out
 	}
 
@@ -370,13 +426,13 @@ func (h *Handle[T]) GetN(max int) []T {
 				h.stats.DirectedReceives += int64(g.count())
 				h.stats.RecordBatchStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, g.count(), len(out))
 			}
-			p.observe(policy.Feedback{Examined: res.Examined, Got: g.count(), Elapsed: sinceMicros(start)})
+			h.observe(policy.Feedback{Examined: res.Examined, Got: g.count(), Elapsed: sinceMicros(start)})
 			return out
 		}
 		if p.opts.CollectStats {
 			h.stats.RecordAbort(sinceMicros(start))
 		}
-		p.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: sinceMicros(start)})
+		h.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: sinceMicros(start)})
 		return nil
 	}
 	// The steal moved res.Got elements into the local segment and reserved
@@ -391,7 +447,7 @@ func (h *Handle[T]) GetN(max int) []T {
 	if p.opts.CollectStats {
 		h.stats.RecordBatchStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, res.Got, len(out))
 	}
-	p.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: sinceMicros(start)})
+	h.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: sinceMicros(start)})
 	return out
 }
 
@@ -544,7 +600,7 @@ func (w *world[T]) TrySteal(sIdx int) int {
 		return 0
 	}
 	p.opts.Delay.Delay(numa.AccessSplit, self, sIdx)
-	moved := src.dq.TakeInto(&dst.dq, p.pol.Steal.Amount(n, w.want))
+	moved := src.dq.TakeInto(&dst.dq, h.steal.Amount(n, w.want))
 	w.reserved, _ = dst.dq.Remove()
 	w.has = true
 	second.mu.Unlock()

@@ -48,17 +48,24 @@ import (
 // StealPolicy selects how many elements a successful steal transfers.
 //
 // Deprecated: the enum survives as an alias for the two original
-// policies. Set Options.Policies.Steal instead, which also admits the
-// proportional and adaptive policies.
+// policies. Set Options.Policies.Steal instead — StealHalf becomes
+// Policies.Steal = policy.Half{} (or leave it nil, the default) and
+// StealOne becomes Policies.Steal = policy.One{} — which also admits the
+// proportional, adaptive, and per-handle policies.
 type StealPolicy int
 
 const (
 	// StealHalf is the paper's policy: take ceil(n/2) of the victim's
 	// elements, "trying to balance the available reserves and prevent its
 	// next request from also having to perform a search".
+	//
+	// Deprecated: use Options.Policies.Steal = policy.Half{} (the default
+	// when Policies.Steal is nil).
 	StealHalf StealPolicy = iota
 	// StealOne takes a single element, the ablation the paper's design
 	// argues against.
+	//
+	// Deprecated: use Options.Policies.Steal = policy.One{}.
 	StealOne
 )
 
@@ -88,7 +95,8 @@ type Options struct {
 	// Steal selects the transfer policy.
 	//
 	// Deprecated: kept as an alias for the paper's two original policies;
-	// it is consulted only when Policies.Steal is nil. Use Policies.Steal.
+	// it is consulted only when Policies.Steal is nil. Set Policies.Steal
+	// = policy.Half{} or policy.One{} instead.
 	Steal StealPolicy
 	// Delay, when non-zero, injects wall-clock busy-waits per access to
 	// emulate a NUMA or loosely-coupled machine (Section 4.3's delays).
@@ -107,10 +115,12 @@ type Options struct {
 	SegmentCap int
 	// DirectedAdds enables the paper's Section 5 hint extension: an add
 	// that observes another process searching hands elements straight to
-	// that process's mailbox, sparing it the steal. How much of a batch is
-	// gifted is the Placement policy's decision (default: the whole
-	// batch, policy.GiftAll). Setting Policies.Place also enables the
-	// mailboxes, making this flag redundant.
+	// that process's mailbox, sparing it the steal.
+	//
+	// Deprecated: the flag is exactly Policies.Place = policy.GiftAll{};
+	// set Policies.Place (GiftAll, GiftHalf, GiftOne, or GiftToEmptiest)
+	// instead, which both enables the mailboxes and chooses how much of a
+	// batch is gifted.
 	DirectedAdds bool
 }
 
@@ -136,7 +146,8 @@ type treeNode struct {
 // usable.
 type Pool[T any] struct {
 	opts    Options
-	pol     policy.Set   // resolved policies (no nil slots)
+	pol     policy.Set      // resolved policies (no nil slots)
+	dir     policy.Director // size-aware placement, if Policies.Place is one
 	segs    []seg[T]
 	nodes   []treeNode   // heap-indexed tree round counters (tree search only)
 	boxes   []mailbox[T] // directed-add mailboxes (directed placement only)
@@ -184,6 +195,9 @@ func New[T any](opts Options) (*Pool[T], error) {
 		segs:   make([]seg[T], opts.Segments),
 		leaves: search.NumLeavesFor(opts.Segments),
 	}
+	if d, ok := pol.Place.(policy.Director); ok {
+		p.dir = d
+	}
 	if opts.Search == search.Tree || policy.KindOf(pol.Order) == search.Tree {
 		p.nodes = make([]treeNode, 2*p.leaves)
 	}
@@ -195,9 +209,12 @@ func New[T any](opts Options) (*Pool[T], error) {
 	}
 	p.handles = make([]*Handle[T], opts.Segments)
 	for i := range p.handles {
+		ctl, steal := pol.ForHandle(i)
 		p.handles[i] = &Handle[T]{
 			pool:     p,
 			id:       i,
+			ctl:      ctl,
+			steal:    steal,
 			searcher: pol.Order.Searcher(i, opts.Segments, rng.SubSeed(opts.Seed, i)),
 		}
 		p.handles[i].world.h = p.handles[i]
@@ -205,18 +222,11 @@ func New[T any](opts Options) (*Pool[T], error) {
 	return p, nil
 }
 
-// observe feeds one remove outcome to the online controller, if any.
-func (p *Pool[T]) observe(fb policy.Feedback) {
-	if p.pol.Control != nil {
-		p.pol.Control.Observe(fb)
-	}
-}
-
-// BatchSize returns the batch size the pool's controller recommends for a
-// workload configured at current, or current itself without a controller.
-// Batch drivers consult it before every PutAll/GetN cycle, mirroring the
-// simulator's burst loop, so the adaptive policy's online batch tuning
-// behaves identically on both substrates.
+// BatchSize returns the batch size the pool-wide controller recommends
+// for a workload configured at current, or current itself without one.
+// Per-handle controllers (policy.PerHandle) recommend through
+// Handle.BatchSize instead, which batch drivers should prefer; this
+// pool-level view exists for observability and pool-wide sets.
 func (p *Pool[T]) BatchSize(current int) int {
 	if p.pol.Control == nil {
 		return current

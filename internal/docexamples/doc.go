@@ -1,0 +1,6 @@
+// Package docexamples keeps the documentation honest: examples.go (build
+// tag "docsexamples") mirrors every Go code fence in README.md and the
+// pools package documentation, so `make docs-check` fails if a fence
+// references an API that no longer compiles. Update the fences and this
+// package together.
+package docexamples

@@ -1,0 +1,300 @@
+package harness
+
+import (
+	"fmt"
+
+	"pools/internal/numa"
+	"pools/internal/plot"
+	"pools/internal/policy"
+	"pools/internal/rng"
+	"pools/internal/search"
+	"pools/internal/sim"
+	"pools/internal/workload"
+)
+
+// This file measures the locality-aware policy extensions. The paper's
+// Section 4.3 delay experiments add 1 µs .. 100 ms to every remote
+// operation "to simulate a higher-cost remote access architecture" and
+// find all three search algorithms converging — they are equally blind to
+// where a victim lives, so every extra microsecond hits them alike. The
+// locality sweep re-runs that experiment on a machine where "remote" is
+// not one cost (numa.Clusters: near-remote one hop, far-remote four) and
+// adds the policy the paper could not have: a victim order that consults
+// the cost model (policy.LocalityOrder). The controller-trace experiment
+// surfaces the other PR-2 follow-on, per-handle controllers, by plotting
+// each handle's steal fraction and batch recommendation over virtual
+// time.
+
+// LocalityScales are the added per-remote-operation delays (virtual µs)
+// swept by the locality experiment, the Section 4.3 range at one-decade
+// steps.
+func LocalityScales() []int64 { return []int64{0, 10, 100, 1000, 10000} }
+
+// LocalityClusterSize is the cluster width of the swept topology: 16
+// paper processors in four clusters of four.
+const LocalityClusterSize = 4
+
+// LocalityOrderNames lists the victim orders the sweep compares: the
+// paper's three locality-blind algorithms plus the cost-ranked order.
+func LocalityOrderNames() []string {
+	return []string{"linear", "random", "tree", "locality"}
+}
+
+// localitySet builds a fresh policy set for one victim-order name under
+// the given cost model.
+func localitySet(name string, costs numa.CostModel) policy.Set {
+	switch name {
+	case "locality":
+		return policy.Set{Order: policy.LocalityOrder{Model: costs}}
+	case "linear":
+		return policy.Set{Order: policy.Order{Kind: search.Linear}}
+	case "random":
+		return policy.Set{Order: policy.Order{Kind: search.Random}}
+	case "tree":
+		return policy.Set{Order: policy.Order{Kind: search.Tree}}
+	default:
+		panic(fmt.Sprintf("harness: unknown victim order %q", name))
+	}
+}
+
+// LocalityRow is one (victim order, delay scale) measurement.
+type LocalityRow struct {
+	Order   string
+	DelayUS int64
+	Point   Point
+}
+
+// LocalityMix is the job mix of the locality sweep: the paper's sparse
+// 30%-adds random-operations workload (the same scenario its own delay
+// experiment stresses), chosen because every process both adds and
+// removes — a slow searcher keeps claiming budget, so the comparison is
+// not distorted by role drift the way asymmetric producer/consumer runs
+// are at extreme delays.
+const LocalityMix = 0.3
+
+// LocalitySweep runs the sparse random-operations workload on a
+// clustered machine at each added remote delay under each victim order.
+// Expected shape: at zero delay all orders coincide with their fallbacks
+// (LocalityOrder falls back to linear — with no per-victim cost
+// difference there is nothing to rank); as the delay grows, random and
+// tree pay the far-cluster rate on most probes (they wander across
+// cluster boundaries, and the tree's round counters are remote besides)
+// while the locality order exhausts its cheap in-cluster victims first
+// and its curve pulls away below the blind orders.
+func LocalitySweep(cfg Config, scales []int64) []LocalityRow {
+	c := cfg.withDefaults()
+	base := c.Costs.WithTopology(numa.Clusters{Size: LocalityClusterSize})
+	var out []LocalityRow
+	for _, name := range LocalityOrderNames() {
+		for _, d := range scales {
+			name, d := name, d
+			costs := base.WithExtraDelay(d)
+			cd := c
+			cd.Costs = costs
+			pt := cd.average(float64(d), func(seed uint64) sim.RunResult {
+				w := cd.workloadFor(workload.RandomOps)
+				w.AddFraction = LocalityMix
+				return sim.Run(sim.RunConfig{
+					Workload: w, Search: search.Linear, Costs: costs,
+					Seed: seed, Policies: localitySet(name, costs),
+				})
+			})
+			out = append(out, LocalityRow{Order: name, DelayUS: d, Point: pt})
+		}
+	}
+	return out
+}
+
+// RenderLocality draws the locality sweep: one average-operation-time
+// series per victim order across the delay scales (the paper's Figure 2
+// metric), plus the measurement table with a locality/best-blind ratio
+// column (< 1.0 means the cost-ranked order beat every blind order at
+// that delay).
+func RenderLocality(rows []LocalityRow) string {
+	series := map[string]*plot.Series{}
+	var order []string
+	for _, r := range rows {
+		s := series[r.Order]
+		if s == nil {
+			s = &plot.Series{Name: r.Order}
+			series[r.Order] = s
+			order = append(order, r.Order)
+		}
+		s.X = append(s.X, float64(r.DelayUS))
+		s.Y = append(s.Y, r.Point.AvgOpTime)
+	}
+	var ss []plot.Series
+	for _, name := range order {
+		ss = append(ss, *series[name])
+	}
+	chart := plot.LineChart(
+		fmt.Sprintf("Locality sweep: avg operation time vs added remote delay (clustered topology, %d-proc clusters)", LocalityClusterSize),
+		"added delay per remote op (virt µs)", "avg op time (virt µs)",
+		70, 16,
+		ss,
+	)
+	best := map[int64]float64{}
+	for _, r := range rows {
+		if r.Order == "locality" {
+			continue
+		}
+		if v, ok := best[r.DelayUS]; !ok || r.Point.AvgOpTime < v {
+			best[r.DelayUS] = r.Point.AvgOpTime
+		}
+	}
+	var cells [][]string
+	for _, r := range rows {
+		ratio := "-"
+		if r.Order == "locality" && best[r.DelayUS] > 0 {
+			ratio = fmt.Sprintf("%.3f", r.Point.AvgOpTime/best[r.DelayUS])
+		}
+		cells = append(cells, []string{
+			r.Order,
+			fmt.Sprintf("%d", r.DelayUS),
+			fmtF(r.Point.AvgOpTime),
+			fmtF(r.Point.AvgRemoveTime),
+			fmtF(r.Point.SegmentsExamined),
+			fmtF(r.Point.StealsPerOp),
+			fmtF(r.Point.AbortsPerOp),
+			ratio,
+		})
+	}
+	table := plot.Table([]string{
+		"order", "delay (µs)", "µs/op", "µs/remove", "segs/steal", "steals/op", "aborts/op", "vs best blind",
+	}, cells)
+	return chart + "\n" + table
+}
+
+// LocalityCSV emits the sweep as comma-separated values.
+func LocalityCSV(rows []LocalityRow) string {
+	header := []string{"order", "delay_us", "avg_op_us", "avg_remove_us", "segs_per_steal", "steals_per_op", "aborts_per_op", "makespan_us"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Order,
+			fmt.Sprintf("%d", r.DelayUS),
+			fmt.Sprintf("%.2f", r.Point.AvgOpTime),
+			fmt.Sprintf("%.2f", r.Point.AvgRemoveTime),
+			fmt.Sprintf("%.2f", r.Point.SegmentsExamined),
+			fmt.Sprintf("%.4f", r.Point.StealsPerOp),
+			fmt.Sprintf("%.4f", r.Point.AbortsPerOp),
+			fmt.Sprintf("%.0f", r.Point.MakespanMean),
+		})
+	}
+	return plot.CSV(header, out)
+}
+
+// ControlTraceResult holds one controller-trajectory run: the per-handle
+// steal fraction and batch recommendation over virtual time under the
+// per-handle adaptive policy on the burst producer/consumer workload.
+type ControlTraceResult struct {
+	Kind      search.Kind
+	Batch     int
+	Producers map[int]bool
+	// FracSampled[h] is handle h's steal fraction (permil) resampled at
+	// uniform virtual-time steps; BatchSampled[h] the batch recommendation.
+	FracSampled  [][]int64
+	BatchSampled [][]int64
+	// FinalFrac and FinalBatch are each handle's last sampled values.
+	FinalFrac  []float64
+	FinalBatch []int64
+	Makespan   int64
+}
+
+// ControlTraceRun executes one burst producer/consumer trial under the
+// per-handle adaptive policy with controller tracing on. Producers never
+// remove, so their controllers hold the paper's steal-half fraction;
+// consumers steal constantly and their fractions climb — per-handle
+// control is visible as diverging rows, where the pool-wide adaptive set
+// would show every row identical.
+func ControlTraceRun(cfg Config, kind search.Kind, producers, batch int) ControlTraceResult {
+	c := cfg.withDefaults()
+	set, err := policy.Named("per-handle")
+	if err != nil {
+		panic(err) // programmer error: the name is a registry constant
+	}
+	w := c.workloadFor(workload.Burst)
+	w.Producers = producers
+	w.Arrangement = workload.Balanced
+	w.BatchSize = batch
+	res := sim.Run(sim.RunConfig{
+		Workload: w, Search: kind, Costs: c.Costs,
+		Seed: rng.SubSeed(c.Seed, 0), Policies: set, ControlTrace: true,
+	})
+
+	const buckets = 100
+	end := int64(1)
+	for i := range res.Controls {
+		if t := res.Controls[i].FracPermil.MaxTime(); t > end {
+			end = t
+		}
+	}
+	times := make([]int64, buckets)
+	for i := range times {
+		times[i] = end * int64(i+1) / buckets
+	}
+	out := ControlTraceResult{
+		Kind:      kind,
+		Batch:     batch,
+		Producers: map[int]bool{},
+		Makespan:  res.Makespan,
+	}
+	for _, p := range workload.ProducerPositions(c.Procs, producers, workload.Balanced) {
+		out.Producers[p] = true
+	}
+	for i := range res.Controls {
+		fr := res.Controls[i].FracPermil.SampleAt(times)
+		ba := res.Controls[i].Batch.SampleAt(times)
+		out.FracSampled = append(out.FracSampled, fr)
+		out.BatchSampled = append(out.BatchSampled, ba)
+		out.FinalFrac = append(out.FinalFrac, float64(fr[len(fr)-1])/1000)
+		out.FinalBatch = append(out.FinalBatch, ba[len(ba)-1])
+	}
+	return out
+}
+
+// RenderControlTrace draws the trajectory panels (steal fraction per
+// handle over virtual time) and the final-operating-point table.
+func RenderControlTrace(r ControlTraceResult) string {
+	title := fmt.Sprintf("Controller trajectories: per-handle steal fraction over time (%s search, burst batch %d)",
+		r.Kind, r.Batch)
+	body := plot.TracePanels(title, "handle", "steal fraction (permil)", r.FracSampled, r.Producers, "P", "C")
+	var cells [][]string
+	for h := range r.FracSampled {
+		role := "consumer"
+		if r.Producers[h] {
+			role = "producer"
+		}
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", h),
+			role,
+			fmt.Sprintf("%.3f", r.FinalFrac[h]),
+			fmt.Sprintf("%d", r.FinalBatch[h]),
+		})
+	}
+	table := plot.Table([]string{"handle", "role", "final steal fraction", "final batch"}, cells)
+	return body + "\n" + table
+}
+
+// ControlTraceCSV emits the trajectories in long form: one row per
+// (handle, sample).
+func ControlTraceCSV(r ControlTraceResult) string {
+	header := []string{"handle", "role", "sample", "frac_permil", "batch"}
+	var out [][]string
+	for h := range r.FracSampled {
+		role := "consumer"
+		if r.Producers[h] {
+			role = "producer"
+		}
+		for i := range r.FracSampled[h] {
+			out = append(out, []string{
+				fmt.Sprintf("%d", h),
+				role,
+				fmt.Sprintf("%d", i),
+				fmt.Sprintf("%d", r.FracSampled[h][i]),
+				fmt.Sprintf("%d", r.BatchSampled[h][i]),
+			})
+		}
+	}
+	return plot.CSV(header, out)
+}

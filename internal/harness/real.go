@@ -84,7 +84,7 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 					// An online controller (adaptive policy) may retune
 					// the batch between operations, exactly as in the
 					// simulator's burst loop.
-					want := p.BatchSize(wl.BatchSize)
+					want := h.BatchSize(wl.BatchSize)
 					if want > len(batch) {
 						batch = make([]int, want)
 					}

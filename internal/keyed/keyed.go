@@ -16,9 +16,12 @@
 // as it can in the paper's pool; callers retry if their protocol expects
 // late arrivals.)
 //
-// How much of a matching bucket a steal transfers is the same pluggable
-// decision as in the plain pool: Options.Steal takes any
-// policy.StealAmount (default steal-half).
+// The keyed pool consults the same policy.Set as the plain pool
+// (Options.Policies): the StealAmount sizes bucket steals, a VictimOrder
+// that implements policy.Ranker (policy.LocalityOrder) reorders the ring
+// sweep cheapest-victim-first, a policy.Director placement steers adds
+// toward the emptiest segment, and a Controller — per-handle or
+// pool-wide — tunes from each remove's outcome.
 package keyed
 
 import (
@@ -26,6 +29,7 @@ import (
 	"sync"
 
 	"pools/internal/policy"
+	"pools/internal/search"
 	"pools/internal/segment"
 )
 
@@ -36,15 +40,26 @@ type Options struct {
 	// Sweeps is the number of full ring sweeps a searching Get performs
 	// before concluding the requested class is absent. Default 1.
 	Sweeps int
-	// Steal selects how many elements a bucket steal transfers, exactly
-	// as core.Options.Policies.Steal does for the plain pool. Default:
-	// policy.Half (the paper's steal-half).
+	// Policies selects the pool's tunable decisions, exactly as
+	// core.Options.Policies does for the plain pool; nil slots take paper
+	// defaults (steal-half, ring sweep order, local placement, no
+	// control). Victim orders apply when they implement policy.Ranker;
+	// mailbox placements are ignored (the keyed pool has no directed-add
+	// mailboxes) but policy.Director placements are honored.
+	Policies policy.Set
+	// Steal selects how many elements a bucket steal transfers.
+	//
+	// Deprecated: consulted only when Policies.Steal is nil. Set
+	// Policies.Steal instead (policy.Half{}, policy.One{}, ...), which
+	// also admits the adaptive and per-handle policies.
 	Steal policy.StealAmount
 }
 
 // Pool is a concurrent pool of key-classed elements. Create with New.
 type Pool[K comparable, V any] struct {
 	opts    Options
+	pol     policy.Set      // resolved policies (no nil slots)
+	dir     policy.Director // size-aware placement, if Policies.Place is one
 	segs    []seg[K, V]
 	handles []*Handle[K, V]
 }
@@ -67,16 +82,32 @@ func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
 	if opts.Sweeps < 0 {
 		return nil, fmt.Errorf("keyed: Sweeps = %d, need >= 0", opts.Sweeps)
 	}
-	if opts.Steal == nil {
-		opts.Steal = policy.Half{}
+	pol := opts.Policies
+	if pol.Steal == nil {
+		pol.Steal = opts.Steal // deprecated alias; nil is filled below
 	}
-	p := &Pool[K, V]{opts: opts, segs: make([]seg[K, V], opts.Segments)}
+	pol = pol.WithDefaults(search.Linear, false)
+	p := &Pool[K, V]{opts: opts, pol: pol, segs: make([]seg[K, V], opts.Segments)}
+	if d, ok := pol.Place.(policy.Director); ok {
+		p.dir = d
+	}
+	var ranker policy.Ranker
+	if r, ok := pol.Order.(policy.Ranker); ok {
+		ranker = r
+	}
 	for i := range p.segs {
 		p.segs[i].buckets = make(map[K]*segment.Deque[V])
 	}
 	p.handles = make([]*Handle[K, V], opts.Segments)
 	for i := range p.handles {
-		p.handles[i] = &Handle[K, V]{pool: p, id: i, lastFound: i}
+		ctl, steal := pol.ForHandle(i)
+		p.handles[i] = &Handle[K, V]{pool: p, id: i, ctl: ctl, steal: steal, lastFound: i}
+		if ranker != nil {
+			// Rank returns nil under victim-uniform costs: the handle
+			// keeps the default ring sweep, matching the plain pool's
+			// fallback to a paper algorithm.
+			p.handles[i].rank = ranker.Rank(i, opts.Segments)
+		}
 	}
 	return p, nil
 }
@@ -118,15 +149,48 @@ func (p *Pool[K, V]) LenKey(k K) int {
 type Handle[K comparable, V any] struct {
 	pool      *Pool[K, V]
 	id        int
-	lastFound int // segment where elements were last stolen
+	ctl       policy.Controller  // this handle's controller (own instance under per-handle sets)
+	steal     policy.StealAmount // this handle's steal amount
+	rank      []int              // ranked sweep order (nil = ring order from lastFound)
+	lastFound int                // segment where elements were last stolen
 }
 
 // ID returns the handle's segment index.
 func (h *Handle[K, V]) ID() int { return h.id }
 
-// Put adds an element of class k to the local segment. O(1).
+// observe feeds one remove outcome to this handle's controller, if any —
+// the same feedback stream core.Handle reports, so adaptive and
+// per-handle policies tune identically on the keyed pool.
+func (h *Handle[K, V]) observe(fb policy.Feedback) {
+	if h.ctl != nil {
+		h.ctl.Observe(fb)
+	}
+}
+
+// directTarget consults the Director placement (when the pool has one)
+// for where an add of n elements should land.
+func (h *Handle[K, V]) directTarget(n int) int {
+	p := h.pool
+	if p.dir == nil {
+		return h.id
+	}
+	t := p.dir.Direct(h.id, len(p.segs), n, func(sIdx int) int {
+		s := &p.segs[sIdx]
+		s.mu.Lock()
+		l := s.total
+		s.mu.Unlock()
+		return l
+	})
+	if t < 0 || t >= len(p.segs) {
+		return h.id
+	}
+	return t
+}
+
+// Put adds an element of class k to the local segment — or to the
+// segment a Director placement selects. O(1) without a Director.
 func (h *Handle[K, V]) Put(k K, v V) {
-	s := &h.pool.segs[h.id]
+	s := &h.pool.segs[h.directTarget(1)]
 	s.mu.Lock()
 	b := s.buckets[k]
 	if b == nil {
@@ -138,13 +202,14 @@ func (h *Handle[K, V]) Put(k K, v V) {
 	s.mu.Unlock()
 }
 
-// PutAll adds every element of vs to the local segment's class-k bucket
-// under a single lock acquisition. PutAll of an empty slice is a no-op.
+// PutAll adds every element of vs to one segment's class-k bucket (the
+// local segment, or a Director placement's choice) under a single lock
+// acquisition. PutAll of an empty slice is a no-op.
 func (h *Handle[K, V]) PutAll(k K, vs []V) {
 	if len(vs) == 0 {
 		return
 	}
-	s := &h.pool.segs[h.id]
+	s := &h.pool.segs[h.directTarget(len(vs))]
 	s.mu.Lock()
 	b := s.buckets[k]
 	if b == nil {
@@ -157,74 +222,93 @@ func (h *Handle[K, V]) PutAll(k K, vs []V) {
 }
 
 // GetN removes up to max elements of class k in one operation: it drains
-// the local bucket under one lock when possible, otherwise walks the ring
-// and surfaces the batch a bucket steal-half transfers. It returns nil
-// when max <= 0 or no element of class k was found within Options.Sweeps
-// full sweeps (the key-miss fallback: absence is decidable, no livelock
-// rule needed).
+// the local bucket under one lock when possible, otherwise sweeps the
+// segments and surfaces the batch a policy-sized bucket steal transfers.
+// It returns nil when max <= 0 or no element of class k was found within
+// Options.Sweeps full sweeps (the key-miss fallback: absence is
+// decidable, no livelock rule needed).
 func (h *Handle[K, V]) GetN(k K, max int) []V {
 	if max <= 0 {
 		return nil
 	}
 	if out := h.takeLocalN(k, max); len(out) > 0 {
+		h.observe(policy.Feedback{Got: len(out)})
 		return out
 	}
 	var out []V
-	h.sweep(func(sIdx int) bool {
+	stole := false
+	found, probes := h.sweep(func(sIdx int) bool {
 		if sIdx == h.id {
 			out = h.takeLocalN(k, max)
 		} else {
 			out = h.stealNFrom(sIdx, k, max)
+			stole = len(out) > 0
 		}
 		return len(out) > 0
 	})
+	h.observe(policy.Feedback{Stole: stole, Aborted: !found, Examined: probes, Got: len(out)})
 	return out
 }
 
-// sweep walks the segment ring from where elements were last found, for
-// Options.Sweeps full sweeps, calling probe on each segment (including
-// the local one) until probe reports success. A successful remote probe
-// updates lastFound so the next search starts there. It reports whether
-// any probe succeeded — the shared walk behind Get, GetAny, and GetN.
-func (h *Handle[K, V]) sweep(probe func(sIdx int) bool) bool {
+// sweep visits segments — in the victim order's ranked preference when
+// the pool has one, otherwise around the ring from where elements were
+// last found — for Options.Sweeps full passes, calling probe on each
+// segment (including the local one) until probe reports success. A
+// successful remote probe under ring order updates lastFound so the next
+// search starts there; ranked orders always restart cheapest-first. It
+// reports whether any probe succeeded and how many probes were spent —
+// the shared walk behind Get, GetAny, and GetN.
+func (h *Handle[K, V]) sweep(probe func(sIdx int) bool) (bool, int) {
 	n := len(h.pool.segs)
 	probes := n * h.pool.opts.Sweeps
-	sIdx := h.lastFound
 	for i := 0; i < probes; i++ {
+		var sIdx int
+		if h.rank != nil {
+			sIdx = h.rank[i%n]
+		} else {
+			sIdx = h.lastFound + i
+			for sIdx >= n {
+				sIdx -= n
+			}
+		}
 		if probe(sIdx) {
-			if sIdx != h.id {
+			if sIdx != h.id && h.rank == nil {
 				h.lastFound = sIdx
 			}
-			return true
-		}
-		sIdx++
-		if sIdx == n {
-			sIdx = 0
+			return true, i + 1
 		}
 	}
-	return false
+	return false, probes
 }
 
 // Get removes an element of class k: locally when possible, otherwise by
-// walking the ring and stealing half of the first non-empty k-bucket. It
-// returns false after Options.Sweeps full sweeps found no element of
-// class k.
+// sweeping the segments and stealing a policy-sized share of the first
+// non-empty k-bucket. It returns false after Options.Sweeps full sweeps
+// found no element of class k.
 func (h *Handle[K, V]) Get(k K) (V, bool) {
 	// Local fast path.
 	if v, ok := h.takeLocal(k); ok {
+		h.observe(policy.Feedback{Got: 1})
 		return v, true
 	}
-	// Ring search from where elements were last found.
+	// Search from where elements were last found (or cheapest-first).
 	var out V
-	found := h.sweep(func(sIdx int) bool {
+	stole := false
+	found, probes := h.sweep(func(sIdx int) bool {
 		var ok bool
 		if sIdx == h.id {
 			out, ok = h.takeLocal(k)
 		} else {
 			out, ok = h.stealFrom(sIdx, k)
+			stole = ok
 		}
 		return ok
 	})
+	got := 0
+	if found {
+		got = 1
+	}
+	h.observe(policy.Feedback{Stole: stole, Aborted: !found, Examined: probes, Got: got})
 	return out, found
 }
 
@@ -232,19 +316,27 @@ func (h *Handle[K, V]) Get(k K) (V, bool) {
 // returns false when the pool appears empty after the configured sweeps.
 func (h *Handle[K, V]) GetAny() (K, V, bool) {
 	if k, v, ok := h.takeLocalAny(); ok {
+		h.observe(policy.Feedback{Got: 1})
 		return k, v, ok
 	}
 	var outK K
 	var outV V
-	found := h.sweep(func(sIdx int) bool {
+	stole := false
+	found, probes := h.sweep(func(sIdx int) bool {
 		var ok bool
 		if sIdx == h.id {
 			outK, outV, ok = h.takeLocalAny()
 		} else {
 			outK, outV, ok = h.stealAnyFrom(sIdx)
+			stole = ok
 		}
 		return ok
 	})
+	got := 0
+	if found {
+		got = 1
+	}
+	h.observe(policy.Feedback{Stole: stole, Aborted: !found, Examined: probes, Got: got})
 	return outK, outV, found
 }
 
@@ -311,7 +403,7 @@ func (h *Handle[K, V]) stealNFrom(sIdx int, k K, max int) []V {
 		dstB = &segment.Deque[V]{}
 		dst.buckets[k] = dstB
 	}
-	moved := srcB.TakeInto(dstB, p.opts.Steal.Amount(srcB.Len(), max))
+	moved := srcB.TakeInto(dstB, h.steal.Amount(srcB.Len(), max))
 	src.total -= moved
 	dst.total += moved
 	if srcB.Empty() {
@@ -381,7 +473,7 @@ func (h *Handle[K, V]) stealAnyFrom(sIdx int) (K, V, bool) {
 			dstB = &segment.Deque[V]{}
 			dst.buckets[k] = dstB
 		}
-		moved := srcB.TakeInto(dstB, p.opts.Steal.Amount(srcB.Len(), 1))
+		moved := srcB.TakeInto(dstB, h.steal.Amount(srcB.Len(), 1))
 		src.total -= moved
 		dst.total += moved
 		if srcB.Empty() {

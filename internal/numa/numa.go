@@ -68,8 +68,17 @@ type CostModel struct {
 	RemoteFactor int64
 
 	// RemoteExtra is added to every remote segment access and every tree
-	// node access: the paper's Section 4.3 sweep parameter.
+	// node access: the paper's Section 4.3 sweep parameter ("to simulate a
+	// higher-cost remote access architecture", 1 µs .. 100 ms per
+	// operation). Under a non-nil Topo it is scaled by the hop distance
+	// between accessor and home.
 	RemoteExtra int64
+
+	// Topo assigns hop distances to processor pairs; RemoteExtra is
+	// multiplied by the distance of each remote access. Nil behaves like
+	// Uniform (every remote pair one hop — the Butterfly's flat switch
+	// network), preserving the paper's two-level model.
+	Topo Topology
 
 	// NodeRemote, when true, charges tree-node accesses at the remote rate
 	// regardless of the accessor (the paper treats the superimposed tree
@@ -102,6 +111,27 @@ func ButterflyCosts() CostModel {
 func (m CostModel) WithExtraDelay(d int64) CostModel {
 	m.RemoteExtra = d
 	return m
+}
+
+// WithTopology returns a copy of the model with the given hop-distance
+// topology; remote accesses are charged RemoteExtra times the distance.
+func (m CostModel) WithTopology(t Topology) CostModel {
+	m.Topo = t
+	return m
+}
+
+// hops returns the distance multiplier for a remote access from proc to
+// home: 1 under a nil topology or for shared/interleaved objects
+// (home < 0), otherwise the topology's distance floored at 1.
+func (m CostModel) hops(proc, home int) int64 {
+	if m.Topo == nil || home < 0 || proc < 0 {
+		return 1
+	}
+	d := m.Topo.Distance(proc, home)
+	if d < 1 {
+		d = 1
+	}
+	return int64(d)
 }
 
 // base returns the local base cost for an access kind.
@@ -138,7 +168,7 @@ func (m CostModel) Cost(kind Kind, proc, home int) int64 {
 		if f < 1 {
 			f = 1
 		}
-		c = c*f + m.RemoteExtra
+		c = c*f + m.RemoteExtra*m.hops(proc, home)
 	}
 	return c
 }

@@ -1,0 +1,84 @@
+package numa
+
+import "fmt"
+
+// Topology assigns a hop distance to every processor pair, generalizing
+// the paper's two-level local/remote split to machines where "remote" is
+// not one cost. The Butterfly the paper measures reaches every remote
+// memory through one switch traversal (Uniform); Section 4.3's delayed
+// architectures ("to simulate a higher-cost remote access architecture")
+// are modelled by scaling CostModel.RemoteExtra with the topology's
+// distance, so a clustered machine charges far references more than near
+// ones. A CostModel with a nil Topology behaves exactly like Uniform.
+type Topology interface {
+	// Distance returns the hop distance from processor a to processor b:
+	// 0 when a == b, and >= 1 for remote pairs. Implementations must be
+	// symmetric (Distance(a,b) == Distance(b,a)) and deterministic, since
+	// both the simulator and policy.LocalityOrder derive victim rankings
+	// from them.
+	Distance(a, b int) int
+	// Name identifies the topology in tables and CSV output.
+	Name() string
+}
+
+// Uniform is the Butterfly's switch network: every remote reference
+// traverses the same interconnect, so all remote pairs are one hop (the
+// paper's "remote accesses roughly 4x slower than local" with no further
+// structure). It is the behavior of a CostModel with no Topology set.
+type Uniform struct{}
+
+// Distance implements Topology: 0 locally, 1 for every remote pair.
+func (Uniform) Distance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+// Name implements Topology.
+func (Uniform) Name() string { return "uniform" }
+
+// Clusters models a two-level loosely-coupled machine — the architecture
+// class the paper's Section 4.3 delay sweep stands in for: processors are
+// grouped into fixed-size clusters, references inside a cluster are one
+// hop, and references that cross a cluster boundary cost Far hops. With
+// CostModel.RemoteExtra = d, a near-remote reference pays d extra virtual
+// µs and a far one pays Far*d, which is what makes a locality-aware
+// victim order (policy.LocalityOrder) measurably different from the
+// paper's locality-blind searches.
+type Clusters struct {
+	// Size is the number of processors per cluster (>= 1). A Size of 0 is
+	// treated as 1 (every processor its own cluster).
+	Size int
+	// Far is the hop distance across clusters; 0 defaults to 4, echoing
+	// the Butterfly's measured remote/local ratio.
+	Far int
+}
+
+// Distance implements Topology: 0 locally, 1 within a cluster, Far
+// (default 4) across clusters.
+func (c Clusters) Distance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	size := c.Size
+	if size < 1 {
+		size = 1
+	}
+	if a/size == b/size {
+		return 1
+	}
+	if c.Far > 0 {
+		return c.Far
+	}
+	return 4
+}
+
+// Name implements Topology.
+func (c Clusters) Name() string {
+	size := c.Size
+	if size < 1 {
+		size = 1
+	}
+	return fmt.Sprintf("clusters-%d", size)
+}

@@ -114,10 +114,21 @@ func LineChart(title, xLabel, yLabel string, width, height int, series []Series)
 // marked. traces[i] must be the resampled sizes of segment i at uniform
 // time steps.
 func SegmentTraces(title string, traces [][]int64, producers map[int]bool) string {
+	return TracePanels(title, "seg", "elements", traces, producers, "P", "C")
+}
+
+// TracePanels renders one labeled density row per series: row i shows
+// rows[i]'s values over uniform time steps as a ramp from ' ' (zero) to
+// '@' (the global maximum). rowPrefix labels each row ("seg", "handle"),
+// unit names the plotted quantity in the scale line, and marked rows get
+// markLabel instead of unmarkLabel next to their index (producer/consumer
+// roles in the figures). It is the shared renderer behind the Figure 3-6
+// segment-size panels and the controller-trajectory panels.
+func TracePanels(title, rowPrefix, unit string, rows [][]int64, marked map[int]bool, markLabel, unmarkLabel string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
 	var maxV int64 = 1
-	for _, tr := range traces {
+	for _, tr := range rows {
 		for _, v := range tr {
 			if v > maxV {
 				maxV = v
@@ -125,12 +136,12 @@ func SegmentTraces(title string, traces [][]int64, producers map[int]bool) strin
 		}
 	}
 	ramp := []byte(" .:-=+*#%@")
-	for i, tr := range traces {
-		role := "C"
-		if producers[i] {
-			role = "P"
+	for i, tr := range rows {
+		role := unmarkLabel
+		if marked[i] {
+			role = markLabel
 		}
-		fmt.Fprintf(&b, "seg %2d %s |", i, role)
+		fmt.Fprintf(&b, "%s %2d %s |", rowPrefix, i, role)
 		for _, v := range tr {
 			idx := int(v * int64(len(ramp)-1) / maxV)
 			if idx < 0 {
@@ -143,7 +154,7 @@ func SegmentTraces(title string, traces [][]int64, producers map[int]bool) strin
 		}
 		fmt.Fprintf(&b, "| max=%d\n", maxOf(tr))
 	}
-	fmt.Fprintf(&b, "scale: ' '=0 .. '@'=%d elements; time runs left to right\n", maxV)
+	fmt.Fprintf(&b, "scale: ' '=0 .. '@'=%d %s; time runs left to right\n", maxV, unit)
 	return b.String()
 }
 

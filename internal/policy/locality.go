@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"sort"
+
+	"pools/internal/numa"
+	"pools/internal/search"
+)
+
+// Ranker is an optional VictimOrder extension: orders that can express
+// their preference as an explicit visit sequence. Substrates that do not
+// run a search.Searcher — the keyed pool's ring sweep is the in-repo case
+// — consult it to walk victims in the order's preference instead of raw
+// ring order.
+type Ranker interface {
+	// Rank returns the victim visit order for the process owning segment
+	// self in a pool of segments segments, or nil when ranking adds
+	// nothing (victim-uniform costs) and the caller should keep its own
+	// default order. In a non-nil order the first entry is conventionally
+	// self (the cheapest probe) and every segment appears exactly once.
+	Rank(self, segments int) []int
+}
+
+// LocalityOrder is the latency-aware VictimOrder: it consults a
+// numa.CostModel and visits victims cheapest-first, so a searching
+// process exhausts its near neighborhood before paying for far
+// references. The paper's Section 4.3 delay experiments (1 µs .. 100 ms
+// added per remote operation) show all three of its search algorithms
+// converging as remote costs grow — they are equally blind to where a
+// victim lives; LocalityOrder is the policy that stops being blind, and
+// it separates from them exactly when the cost model makes "remote"
+// non-uniform (e.g. numa.Clusters).
+//
+// When the model charges every remote victim identically (the measured
+// Butterfly: a flat switch network, no topology), ranking adds nothing
+// and the order falls back to the configured paper algorithm.
+type LocalityOrder struct {
+	// Model is the access cost model victims are ranked under. Ranking
+	// uses probe costs; any access kind gives the same order since cost is
+	// monotone in distance.
+	Model numa.CostModel
+	// Fallback is the search algorithm used when Model charges every
+	// remote victim the same (ranking would be arbitrary); 0 means
+	// search.Linear, the paper's cheapest algorithm.
+	Fallback search.Kind
+}
+
+var (
+	_ VictimOrder = LocalityOrder{}
+	_ Ranker      = LocalityOrder{}
+)
+
+// fallbackKind returns the fallback algorithm, defaulting to Linear.
+func (o LocalityOrder) fallbackKind() search.Kind {
+	if o.Fallback == 0 {
+		return search.Linear
+	}
+	return o.Fallback
+}
+
+// SearchKind reports the fallback algorithm. KindOf consults it so pools
+// allocate tree round-counter nodes when the fallback is search.Tree.
+func (o LocalityOrder) SearchKind() search.Kind { return o.fallbackKind() }
+
+// probeCosts returns the model's probe cost from self to every segment.
+func (o LocalityOrder) probeCosts(self, segments int) []int64 {
+	costs := make([]int64, segments)
+	for v := 0; v < segments; v++ {
+		costs[v] = o.Model.Cost(numa.AccessProbe, self, v)
+	}
+	return costs
+}
+
+// uniform reports whether every remote victim costs the same to probe, in
+// which case ranking degenerates and the fallback algorithm is used.
+func uniform(self int, costs []int64) bool {
+	first := int64(-1)
+	for v, c := range costs {
+		if v == self {
+			continue
+		}
+		if first < 0 {
+			first = c
+			continue
+		}
+		if c != first {
+			return false
+		}
+	}
+	return true
+}
+
+// Rank implements Ranker: segments in ascending probe-cost order, ties
+// broken by ring distance from self (so the local segment — the only
+// non-remote probe — always ranks first, and equal-cost victims are
+// visited in the paper's linear order). Under a victim-uniform model it
+// returns nil — there is nothing to rank, and callers (the keyed pool's
+// sweep) keep their own default order, mirroring Searcher's fallback.
+func (o LocalityOrder) Rank(self, segments int) []int {
+	costs := o.probeCosts(self, segments)
+	if uniform(self, costs) {
+		return nil
+	}
+	order := make([]int, segments)
+	for i := range order {
+		order[i] = (self + i) % segments // ring order from self = tiebreak
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return costs[order[i]] < costs[order[j]]
+	})
+	return order
+}
+
+// Searcher implements VictimOrder: a cost-ranked ordered searcher, or the
+// fallback algorithm when the model is victim-uniform (Rank returns nil).
+func (o LocalityOrder) Searcher(self, segments int, seed uint64) search.Searcher {
+	if rank := o.Rank(self, segments); rank != nil {
+		return search.NewOrderedSearcher(rank)
+	}
+	return search.New(o.fallbackKind(), self, segments, seed)
+}
+
+// Name implements VictimOrder.
+func (o LocalityOrder) Name() string { return "locality" }

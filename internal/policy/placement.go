@@ -58,3 +58,85 @@ func (GiftAll) GiftSplit(n, hungry int) int {
 
 // Name implements Placement.
 func (GiftAll) Name() string { return "gift-all" }
+
+// Director is an optional Placement extension: size-aware placements that
+// pick the destination segment for an add by probing segment sizes. It
+// generalizes the paper's symmetric remote-add footnote ("an add
+// operation encountering a full segment ... could be handled in a
+// symmetric fashion, adding remotely to a segment with sufficient
+// capacity") from a capacity escape hatch into a placement policy: the
+// producer spends probe accesses to steer reserves toward starving
+// consumers before they must search.
+type Director interface {
+	Placement
+	// Direct returns the segment that should receive an add of n elements
+	// (n >= 1) by the process owning segment self in a pool of segments
+	// segments. size reports a segment's current length; every call is
+	// charged as one numa.AccessProbe by the substrate, so probing is not
+	// free — under the Section 4.3 delay models a wide probe sweep can
+	// cost more than it saves. Returning self (or an out-of-range index,
+	// which callers clamp to self) keeps the add local.
+	Direct(self, segments, n int, size func(seg int) int) int
+}
+
+// GiftToEmptiest is the size-aware placement the ROADMAP calls "gift
+// toward the emptiest": each add probes segment sizes (walking the ring
+// from the adder's own segment) and lands on the emptiest segment probed.
+// It attacks the imbalance behind the paper's Section 4.2 bunching result
+// — producers' segments overflow while consumers' run dry and "the
+// consumers bunch up behind the producers" — from the add side: instead
+// of rebalancing via steals after the fact, reserves are placed where
+// they are scarcest. Hungry searchers are the extreme of an empty
+// segment, so GiftSplit gifts to them first, exactly like GiftAll.
+type GiftToEmptiest struct {
+	// Probes bounds how many segments each add examines, walking the ring
+	// from the adder's own segment. 0 means DefaultProbes: on the real
+	// pool every probe takes a segment lock (and under delay models a
+	// charged AccessProbe), so an unbounded sweep on the Put hot path
+	// would serialize producers across the whole ring. Negative probes
+	// every segment — the exhaustive variant the simulator can afford.
+	Probes int
+}
+
+// DefaultProbes is the zero-value GiftToEmptiest probe budget: the
+// adder's own segment plus its next three ring neighbors. A small sample
+// already captures most of the balancing benefit (the power-of-d-choices
+// effect) at a fixed, segment-count-independent cost per add.
+const DefaultProbes = 4
+
+var _ Director = GiftToEmptiest{}
+
+// GiftSplit implements Placement: like GiftAll, the whole batch goes to
+// hungry searchers when any exist (a mailbox delivery beats even an
+// empty-segment placement — it spares the consumer its whole search).
+func (GiftToEmptiest) GiftSplit(n, hungry int) int {
+	if hungry == 0 {
+		return 0
+	}
+	return n
+}
+
+// Direct implements Director: probe up to Probes segments from self
+// around the ring and return the one with the fewest elements. Ties keep
+// the earliest (nearest) probed segment, so an all-empty pool places
+// locally.
+func (g GiftToEmptiest) Direct(self, segments, _ int, size func(seg int) int) int {
+	probes := g.Probes
+	if probes == 0 {
+		probes = DefaultProbes
+	}
+	if probes < 0 || probes > segments {
+		probes = segments
+	}
+	best, bestLen := self, -1
+	for off := 0; off < probes; off++ {
+		s := (self + off) % segments
+		if l := size(s); bestLen < 0 || l < bestLen {
+			best, bestLen = s, l
+		}
+	}
+	return best
+}
+
+// Name implements Placement.
+func (GiftToEmptiest) Name() string { return "emptiest" }

@@ -9,15 +9,22 @@
 //   - StealAmount: how many elements a successful steal transfers
 //     (the paper's steal-half, the steal-one ablation, a split
 //     proportional to the requester's batch size, and an adaptive
-//     fraction tuned online);
+//     fraction tuned online — pool-wide or per handle);
 //   - VictimOrder: which remote segments a searching process visits and
-//     in what order, layered over the three internal/search algorithms;
-//   - Placement: where added elements land — the local segment, or
-//     gifted (whole or split) to hungry searchers via directed-add
-//     mailboxes (the paper's Section 5 hint extension, batch-aware);
+//     in what order — the three internal/search algorithms, plus
+//     LocalityOrder, which ranks victims by a numa.CostModel so near
+//     victims are probed first (the policy the paper's Section 4.3
+//     delayed-architecture experiments motivate but could not test);
+//   - Placement: where added elements land — the local segment, gifted
+//     (whole or split) to hungry searchers via directed-add mailboxes
+//     (the paper's Section 5 hint extension, batch-aware), or directed
+//     to the emptiest segment by probing sizes (GiftToEmptiest, the
+//     Director extension of the paper's symmetric remote-add footnote);
 //   - Controller: an online tuner fed per-remove feedback (steal rate,
 //     search length, haul size, operation time) that adjusts the steal
-//     fraction and the recommended batch size while a run executes.
+//     fraction and the recommended batch size while a run executes;
+//     Spawner controllers (PerHandle) mint one instance per handle so
+//     heterogeneous processes tune independently.
 //
 // A Set bundles one choice per decision point. Both execution substrates
 // — the real pool (internal/core) and the virtual-time Butterfly
@@ -164,12 +171,12 @@ func (s Set) WithDefaults(kind search.Kind, directed bool) Set {
 }
 
 // Names lists the steal policies Named constructs, in presentation order.
-func Names() []string { return []string{"half", "one", "proportional", "adaptive"} }
+func Names() []string { return []string{"half", "one", "proportional", "adaptive", "per-handle"} }
 
 // Named returns a fresh Set for a steal-policy name: "half", "one",
-// "proportional", or "adaptive". Each call constructs new state, so
-// adaptive sets from separate calls never share a controller — required
-// for independent trials.
+// "proportional", "adaptive", or "per-handle". Each call constructs new
+// state, so adaptive and per-handle sets from separate calls never share
+// a controller — required for independent trials.
 func Named(name string) (Set, error) {
 	switch strings.ToLower(name) {
 	case "half", "steal-half", "":
@@ -181,9 +188,34 @@ func Named(name string) (Set, error) {
 	case "adaptive":
 		a := NewAdaptive()
 		return Set{Steal: a, Control: a}, nil
+	case "per-handle", "adaptive-per-handle":
+		p := NewPerHandle()
+		return Set{Steal: p, Control: p}, nil
 	default:
 		return Set{}, fmt.Errorf("policy: unknown steal policy %q (have %v)", name, Names())
 	}
+}
+
+// ForHandle resolves the controller and steal amount one handle should
+// consult. When the set's controller is a Spawner (the per-handle
+// adaptive pattern), the handle receives its own spawned instance — and
+// when the set's steal amount is that same controller object, the spawned
+// instance also becomes the handle's steal amount, so each handle steals
+// by its own tuned fraction. Pool-wide controllers and static steal
+// amounts pass through unchanged. Both substrates (internal/core and
+// internal/sim) and the keyed pool call this once per handle at
+// construction, which is what makes a policy measured in simulation
+// exactly the policy the library executes.
+func (s Set) ForHandle(handle int) (Controller, StealAmount) {
+	ctl, steal := s.Control, s.Steal
+	if sp, ok := ctl.(Spawner); ok {
+		sub := sp.Spawn(handle)
+		if sa, ok := sub.(StealAmount); ok && any(steal) == any(ctl) {
+			steal = sa
+		}
+		ctl = sub
+	}
+	return ctl, steal
 }
 
 // Order is the VictimOrder wrapping one of the paper's three search
@@ -202,11 +234,16 @@ func (o Order) Name() string { return o.Kind.String() }
 
 // KindOf returns the search algorithm behind a VictimOrder, or 0 for
 // custom orders. The pools use it to decide whether the tree search's
-// round-counter nodes must be allocated; a custom order that needs the
-// tree should embed Order{Kind: search.Tree} or be added here.
+// round-counter nodes must be allocated. Orders that may delegate to a
+// paper algorithm (LocalityOrder's uniform-cost fallback) report it via a
+// SearchKind method; other custom orders that need the tree should embed
+// Order{Kind: search.Tree} or expose the same method.
 func KindOf(o VictimOrder) search.Kind {
-	if ord, ok := o.(Order); ok {
-		return ord.Kind
+	switch v := o.(type) {
+	case Order:
+		return v.Kind
+	case interface{ SearchKind() search.Kind }:
+		return v.SearchKind()
 	}
 	return 0
 }

@@ -1,0 +1,57 @@
+package search
+
+// Ordered identifies OrderedSearcher instances. It is not one of the three
+// paper algorithms (and search.New does not construct it): ordered
+// searchers are built by locality-aware victim orders — see
+// policy.LocalityOrder — which precompute a preference permutation from an
+// access cost model.
+const Ordered Kind = -1
+
+// OrderedSearcher visits segments in a fixed preference order, restarting
+// from the front of the order on every search. It models a process that
+// always looks in the cheapest places first — the locality-aware
+// alternative to the paper's three algorithms, which are all blind to
+// where a victim lives (Section 4.3 shows their costs converge as remote
+// delays grow precisely because every remote probe is charged alike; under
+// a non-uniform cost model a near-first order keeps its advantage).
+type OrderedSearcher struct {
+	order []int
+}
+
+// NewOrderedSearcher returns a searcher visiting the given segment order.
+// The order must be non-empty; it conventionally starts with the caller's
+// own segment (the cheapest probe). The slice is retained, not copied.
+func NewOrderedSearcher(order []int) *OrderedSearcher {
+	if len(order) == 0 {
+		panic("search: empty order")
+	}
+	return &OrderedSearcher{order: order}
+}
+
+var _ Searcher = (*OrderedSearcher)(nil)
+
+// Kind returns Ordered.
+func (o *OrderedSearcher) Kind() Kind { return Ordered }
+
+// Order returns the visit order (the retained slice; callers must not
+// mutate it).
+func (o *OrderedSearcher) Order() []int { return o.order }
+
+// Reset implements Searcher. Ordered searches carry no cross-search state:
+// every search restarts at the front of the preference order.
+func (o *OrderedSearcher) Reset() {}
+
+// Search probes segments in preference order, wrapping around, until a
+// steal succeeds or the world aborts.
+func (o *OrderedSearcher) Search(w World) Result {
+	examined := 0
+	for i := 0; !w.Aborted(); i++ {
+		s := o.order[i%len(o.order)]
+		got := w.TrySteal(s)
+		examined++
+		if got > 0 {
+			return Result{Got: got, FoundAt: s, Examined: examined}
+		}
+	}
+	return Result{FoundAt: -1, Examined: examined}
+}

@@ -1,0 +1,67 @@
+package search
+
+import "testing"
+
+// TestOrderedSearcherVisitsPreferenceOrder checks the searcher probes
+// segments in exactly the given order, restarting from the front on every
+// search.
+func TestOrderedSearcherVisitsPreferenceOrder(t *testing.T) {
+	w := newFakeWorld(0, 8)
+	w.fill(map[int]int{6: 8})
+	s := NewOrderedSearcher([]int{0, 2, 4, 6, 1, 3, 5, 7})
+	if s.Kind() != Ordered || Ordered.String() != "ordered" {
+		t.Fatalf("Kind = %v (%s)", s.Kind(), s.Kind())
+	}
+	res := s.Search(w)
+	if res.Aborted() || res.FoundAt != 6 {
+		t.Fatalf("search found segment %d (got %d), want 6", res.FoundAt, res.Got)
+	}
+	if res.Examined != 4 {
+		t.Fatalf("examined %d segments, want 4 (0,2,4,6)", res.Examined)
+	}
+	wantLog := []int{0, 2, 4, 6}
+	for i, s := range wantLog {
+		if w.probeLog[i] != s {
+			t.Fatalf("probe %d hit segment %d, want %d (log %v)", i, w.probeLog[i], s, w.probeLog)
+		}
+	}
+	// The second search restarts at the front of the order (the local
+	// segment, which now holds the stolen elements) — a linear searcher
+	// would have resumed at lastFound = 6 instead.
+	w.probeLog = nil
+	res = s.Search(w)
+	if res.FoundAt != 0 || res.Examined != 1 {
+		t.Fatalf("second search found %d after %d probes, want 0 after 1 (restart at front)", res.FoundAt, res.Examined)
+	}
+	s.Reset() // no state: must not panic or change behavior
+}
+
+// TestOrderedSearcherWrapsAndAborts checks an empty world wraps through
+// the order repeatedly until the abort signal fires.
+func TestOrderedSearcherWrapsAndAborts(t *testing.T) {
+	w := newFakeWorld(1, 4)
+	w.probeBudget = 10
+	s := NewOrderedSearcher([]int{1, 0, 2, 3})
+	res := s.Search(w)
+	if !res.Aborted() {
+		t.Fatal("search on an empty world did not abort")
+	}
+	if res.Examined != 10 {
+		t.Fatalf("examined %d, want the full probe budget 10", res.Examined)
+	}
+	// Wrapped: probe 5 (index 4) revisits the front of the order.
+	if w.probeLog[4] != 1 {
+		t.Fatalf("wrap probe hit %d, want 1 (log %v)", w.probeLog[4], w.probeLog)
+	}
+}
+
+// TestOrderedSearcherEmptyOrderPanics checks the constructor rejects an
+// empty preference order (a programmer error).
+func TestOrderedSearcherEmptyOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewOrderedSearcher(nil) did not panic")
+		}
+	}()
+	NewOrderedSearcher(nil)
+}

@@ -35,6 +35,8 @@ func (k Kind) String() string {
 		return "random"
 	case Tree:
 		return "tree"
+	case Ordered:
+		return "ordered"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -18,9 +18,12 @@ type PoolConfig struct {
 	Costs  numa.CostModel // access cost model (numa.ButterflyCosts())
 	Seed   uint64         // drives the random search algorithm
 	// Policies selects the pool's tunable decisions (steal amount, victim
-	// order, online control), exactly as core.Options.Policies does for
-	// the real pool; nil slots take paper defaults. Placement policies are
-	// ignored: the simulated pool has no directed-add mailboxes.
+	// order, size-aware placement, online control), exactly as
+	// core.Options.Policies does for the real pool; nil slots take paper
+	// defaults. Mailbox placements (GiftAll and friends) are ignored — the
+	// simulated pool has no directed-add mailboxes — but Director
+	// placements (policy.GiftToEmptiest) are honored, with every size
+	// probe charged at the cost model's AccessProbe rate.
 	Policies policy.Set
 	// StealOne switches the transfer policy from the paper's steal-half
 	// to steal-one (ablation).
@@ -38,7 +41,8 @@ type PoolConfig struct {
 // (counter-only segments) corresponds to Pool[Token].
 type Pool[T any] struct {
 	cfg    PoolConfig
-	pol    policy.Set // resolved policies (no nil slots)
+	pol    policy.Set      // resolved policies (no nil slots)
+	dir    policy.Director // size-aware placement, if Policies.Place is one
 	leaves int
 
 	segs    []segment.Deque[T]
@@ -83,6 +87,9 @@ func NewPool[T any](cfg PoolConfig) *Pool[T] {
 		counter:      Resource{Name: "lookers"},
 		participants: cfg.Procs,
 	}
+	if d, ok := pol.Place.(policy.Director); ok {
+		p.dir = d
+	}
 	for i := range p.segRes {
 		p.segRes[i].Name = fmt.Sprintf("segment-%d", i)
 	}
@@ -99,17 +106,10 @@ func NewPool[T any](cfg PoolConfig) *Pool[T] {
 	return p
 }
 
-// observe feeds one remove outcome to the online controller, if any.
-func (p *Pool[T]) observe(fb policy.Feedback) {
-	if p.pol.Control != nil {
-		p.pol.Control.Observe(fb)
-	}
-}
-
-// BatchSize returns the batch size the pool's controller recommends for a
-// workload configured at current, or current itself without a controller.
-// The burst driver consults it before every batched operation, which is
-// how the adaptive policy's online batch tuning reaches the run.
+// BatchSize returns the batch size the pool-wide controller recommends
+// for a workload configured at current, or current itself without one.
+// Per-handle controllers recommend through Proc.BatchSize instead, which
+// the burst driver consults before every batched operation.
 func (p *Pool[T]) BatchSize(current int) int {
 	if p.pol.Control == nil {
 		return current
@@ -168,6 +168,8 @@ type Proc[T any] struct {
 	pool     *Pool[T]
 	env      *Env
 	id       int
+	ctl      policy.Controller  // this processor's controller (own instance under per-handle sets)
+	steal    policy.StealAmount // this processor's steal amount
 	searcher search.Searcher
 	stats    metrics.PoolStats
 	world    simWorld[T]
@@ -177,10 +179,13 @@ type Proc[T any] struct {
 // processor, inside or before its body.
 func (p *Pool[T]) Proc(env *Env) *Proc[T] {
 	id := env.ID()
+	ctl, steal := p.pol.ForHandle(id)
 	pr := &Proc[T]{
 		pool:     p,
 		env:      env,
 		id:       id,
+		ctl:      ctl,
+		steal:    steal,
 		searcher: p.pol.Order.Searcher(id, p.cfg.Procs, rng.SubSeed(p.cfg.Seed, id)),
 	}
 	pr.world = simWorld[T]{proc: pr}
@@ -190,6 +195,36 @@ func (p *Pool[T]) Proc(env *Env) *Proc[T] {
 // Stats returns the processor's operation statistics collector.
 func (pr *Proc[T]) Stats() *metrics.PoolStats { return &pr.stats }
 
+// observe feeds one remove outcome to this processor's controller, if
+// any (its own instance under a per-handle set, the shared one
+// otherwise) — mirroring core.Handle.observe exactly.
+func (pr *Proc[T]) observe(fb policy.Feedback) {
+	if pr.ctl != nil {
+		pr.ctl.Observe(fb)
+	}
+}
+
+// BatchSize returns the batch size this processor's controller recommends
+// for a workload configured at current, or current itself without a
+// controller — the simulated analogue of core.Handle.BatchSize.
+func (pr *Proc[T]) BatchSize(current int) int {
+	if pr.ctl == nil {
+		return current
+	}
+	return pr.ctl.BatchSize(current)
+}
+
+// ControlSample reports the controller's current operating point for
+// trajectory traces: the steal fraction in permil and the batch size it
+// would recommend for the configured batch. ok is false without a
+// controller.
+func (pr *Proc[T]) ControlSample(configured int) (fracPermil, batch int64, ok bool) {
+	if pr.ctl == nil {
+		return 0, 0, false
+	}
+	return int64(pr.ctl.StealFraction()*1000 + 0.5), int64(pr.ctl.BatchSize(configured)), true
+}
+
 // Retire withdraws this processor from the participant count when its body
 // finishes while others may still be searching (mirrors core.Handle.Close).
 func (pr *Proc[T]) Retire() {
@@ -198,33 +233,58 @@ func (pr *Proc[T]) Retire() {
 	}
 }
 
-// Put adds an element to the local segment, charging the local add cost.
+// directTarget consults the Director placement (when the pool has one)
+// for where an add of n elements should land, charging one AccessProbe
+// per examined segment — on the simulated machine, probing for the
+// emptiest segment visibly costs virtual time, which is the trade-off
+// the locality experiments measure.
+func (pr *Proc[T]) directTarget(n int) int {
+	p := pr.pool
+	if p.dir == nil {
+		return pr.id
+	}
+	t := p.dir.Direct(pr.id, p.cfg.Procs, n, func(s int) int {
+		pr.env.Charge(&p.segRes[s], p.cfg.Costs.Cost(numa.AccessProbe, pr.id, s))
+		return p.segs[s].Len()
+	})
+	if t < 0 || t >= p.cfg.Procs {
+		return pr.id
+	}
+	return t
+}
+
+// Put adds an element to the local segment — or to the segment a
+// Director placement selects — charging the add cost at the local or
+// remote rate accordingly.
 func (pr *Proc[T]) Put(v T) {
 	p := pr.pool
 	start := pr.env.Now()
-	pr.env.Charge(&p.segRes[pr.id], p.cfg.Costs.Cost(numa.AccessAdd, pr.id, pr.id))
-	p.segs[pr.id].Add(v)
+	target := pr.directTarget(1)
+	pr.env.Charge(&p.segRes[target], p.cfg.Costs.Cost(numa.AccessAdd, pr.id, target))
+	p.segs[target].Add(v)
 	p.emptyAbort = false // elements exist again: searches may proceed
-	p.recordTrace(pr.env, pr.id)
+	p.recordTrace(pr.env, target)
 	pr.stats.RecordAdd(pr.env.Now() - start)
 }
 
-// PutAll adds every element of vs to the local segment, charging a single
-// add access for the whole batch — the amortization the batch API exists
-// to measure: one segment acquisition (and one queueing exposure at a
-// contended segment) covers k elements.
+// PutAll adds every element of vs to one segment (the local one, or a
+// Director placement's choice), charging a single add access for the
+// whole batch — the amortization the batch API exists to measure: one
+// segment acquisition (and one queueing exposure at a contended segment)
+// covers k elements.
 func (pr *Proc[T]) PutAll(vs []T) {
 	if len(vs) == 0 {
 		return
 	}
 	p := pr.pool
 	start := pr.env.Now()
-	pr.env.Charge(&p.segRes[pr.id], p.cfg.Costs.Cost(numa.AccessAdd, pr.id, pr.id))
+	target := pr.directTarget(len(vs))
+	pr.env.Charge(&p.segRes[target], p.cfg.Costs.Cost(numa.AccessAdd, pr.id, target))
 	for _, v := range vs {
-		p.segs[pr.id].Add(v)
+		p.segs[target].Add(v)
 	}
 	p.emptyAbort = false // elements exist again: searches may proceed
-	p.recordTrace(pr.env, pr.id)
+	p.recordTrace(pr.env, target)
 	pr.stats.RecordBatchAdd(pr.env.Now()-start, len(vs))
 }
 
@@ -242,7 +302,7 @@ func (pr *Proc[T]) GetN(max int) []T {
 	if out := p.segs[pr.id].RemoveN(max); len(out) > 0 {
 		p.recordTrace(pr.env, pr.id)
 		pr.stats.RecordBatchLocalRemove(pr.env.Now()-start, len(out))
-		p.observe(policy.Feedback{Got: len(out), Elapsed: pr.env.Now() - start})
+		pr.observe(policy.Feedback{Got: len(out), Elapsed: pr.env.Now() - start})
 		return out
 	}
 
@@ -250,7 +310,7 @@ func (pr *Proc[T]) GetN(max int) []T {
 	res := pr.searchSteal(max)
 	if res.Got == 0 {
 		pr.stats.RecordAbort(pr.env.Now() - start)
-		p.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: pr.env.Now() - start})
+		pr.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: pr.env.Now() - start})
 		return nil
 	}
 	out := make([]T, 1, max)
@@ -260,7 +320,7 @@ func (pr *Proc[T]) GetN(max int) []T {
 		p.recordTrace(pr.env, pr.id)
 	}
 	pr.stats.RecordBatchStealRemove(pr.env.Now()-start, pr.env.Now()-searchStart, res.Examined, res.Got, len(out))
-	p.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: pr.env.Now() - start})
+	pr.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: pr.env.Now() - start})
 	return out
 }
 
@@ -275,7 +335,7 @@ func (pr *Proc[T]) Get() (T, bool) {
 	if v, ok := p.segs[pr.id].Remove(); ok {
 		p.recordTrace(pr.env, pr.id)
 		pr.stats.RecordLocalRemove(pr.env.Now() - start)
-		p.observe(policy.Feedback{Got: 1, Elapsed: pr.env.Now() - start})
+		pr.observe(policy.Feedback{Got: 1, Elapsed: pr.env.Now() - start})
 		return v, true
 	}
 
@@ -283,12 +343,12 @@ func (pr *Proc[T]) Get() (T, bool) {
 	res := pr.searchSteal(1)
 	if res.Got == 0 {
 		pr.stats.RecordAbort(pr.env.Now() - start)
-		p.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: pr.env.Now() - start})
+		pr.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: pr.env.Now() - start})
 		return zero, false
 	}
 	v := pr.world.takeReserved()
 	pr.stats.RecordStealRemove(pr.env.Now()-start, pr.env.Now()-searchStart, res.Examined, res.Got)
-	p.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: pr.env.Now() - start})
+	pr.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: pr.env.Now() - start})
 	return v, true
 }
 
@@ -395,7 +455,17 @@ func (w *simWorld[T]) TrySteal(s int) int {
 		return 0
 	}
 	env.Charge(&p.segRes[s], p.cfg.Costs.Cost(numa.AccessSplit, pr.id, s))
-	moved := p.segs[s].TakeInto(&p.segs[pr.id], p.pol.Steal.Amount(n, w.want))
+	// The split charge is a scheduling point: another processor may have
+	// drained the victim since the probe read n (TakeInto clamps to what
+	// is actually there). A steal that arrives to an emptied victim is a
+	// fruitless probe — it must not touch the local segment, or it would
+	// reserve an unrelated element (a directed add that landed locally
+	// mid-search) and lose it when a later steal overwrites the slot.
+	moved := p.segs[s].TakeInto(&p.segs[pr.id], pr.steal.Amount(n, w.want))
+	if moved == 0 {
+		w.sawEmpty(s)
+		return 0
+	}
 	w.reserved, _ = p.segs[pr.id].Remove()
 	w.has = true
 	w.resetCoverage()

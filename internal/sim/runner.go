@@ -23,6 +23,21 @@ type RunConfig struct {
 	// StealOne is the deprecated steal-one alias; see PoolConfig.StealOne.
 	StealOne bool
 	Trace    bool
+	// ControlTrace enables per-processor controller-trajectory traces
+	// (steal fraction and recommended batch size sampled after every
+	// operation); meaningful only for sets with a Controller.
+	ControlTrace bool
+}
+
+// ControllerTrace is one processor's controller trajectory over virtual
+// time: the steal fraction (in permil, 500 = the paper's steal-half) and
+// the recommended batch size, sampled after every operation the
+// processor completes. Under a per-handle policy set each processor
+// traces its own controller; under a pool-wide set all processors trace
+// the shared one.
+type ControllerTrace struct {
+	FracPermil metrics.Trace
+	Batch      metrics.Trace
 }
 
 // RunResult carries everything the paper measures from one trial.
@@ -35,6 +50,9 @@ type RunResult struct {
 	Makespan int64
 	// Traces are per-segment size traces (only when RunConfig.Trace).
 	Traces []metrics.Trace
+	// Controls are per-processor controller trajectories (only when
+	// RunConfig.ControlTrace and the policy set has a controller).
+	Controls []ControllerTrace
 	// SegmentWaited is the queueing delay suffered at each segment, the
 	// interference measure behind the bunching analysis.
 	SegmentWaited []int64
@@ -68,12 +86,27 @@ func Run(cfg RunConfig) RunResult {
 	budget := wl.TotalOps
 	budgetRes := Resource{Name: "op-budget"}
 	procs := make([]*Proc[Token], wl.Procs)
+	var controls []ControllerTrace
+	if cfg.ControlTrace {
+		controls = make([]ControllerTrace, wl.Procs)
+	}
 	for id := 0; id < wl.Procs; id++ {
 		id := id
 		s.Spawn(id, func(env *Env) {
 			pr := pool.Proc(env)
 			procs[id] = pr
 			ch := workload.NewChooser(wl, id, cfg.Seed)
+			// sample records the controller's operating point after an
+			// operation, building the trajectory traces.
+			sample := func() {
+				if controls == nil {
+					return
+				}
+				if frac, batch, ok := pr.ControlSample(wl.BatchSize); ok {
+					controls[id].FracPermil.Record(env.Now(), frac)
+					controls[id].Batch.Record(env.Now(), batch)
+				}
+			}
 			for {
 				env.Charge(&budgetRes, cfg.Costs.Cost(numa.AccessShared, id, -1))
 				if budget <= 0 {
@@ -87,9 +120,10 @@ func Run(cfg RunConfig) RunResult {
 					// claims up to BatchSize units in one shared-counter
 					// access and refunds what it could not move, so
 					// Ops()+Aborts == TotalOps holds at every batch size.
-					// An online controller (adaptive policy) may retune the
-					// batch between operations.
-					take := pool.BatchSize(wl.BatchSize)
+					// An online controller (adaptive or per-handle) may
+					// retune the batch between operations; each processor
+					// asks its own controller instance.
+					take := pr.BatchSize(wl.BatchSize)
 					if take > budget {
 						take = budget
 					}
@@ -103,6 +137,7 @@ func Run(cfg RunConfig) RunResult {
 						}
 						budget += take - consumed
 					}
+					sample()
 					continue
 				}
 				budget--
@@ -111,6 +146,7 @@ func Run(cfg RunConfig) RunResult {
 				} else {
 					pr.Get()
 				}
+				sample()
 			}
 		})
 	}
@@ -121,6 +157,7 @@ func Run(cfg RunConfig) RunResult {
 		PerProc:       make([]metrics.PoolStats, wl.Procs),
 		SegmentWaited: make([]int64, wl.Procs),
 		Traces:        pool.Traces(),
+		Controls:      controls,
 		Remaining:     pool.Len(),
 	}
 	for id, pr := range procs {

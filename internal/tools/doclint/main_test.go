@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintDir checks the linter flags exactly the undocumented exported
+// declarations: documented and unexported ones pass, grouped const
+// blocks are covered by their group comment, and test files are skipped.
+func TestLintDir(t *testing.T) {
+	dir := t.TempDir()
+	src := `package x
+
+// Documented is fine.
+func Documented() {}
+
+func Exported() {}
+
+type T struct{}
+
+// M is documented.
+func (T) M() {}
+
+func (T) N() {}
+
+const C = 1
+
+// Grouped constants share the group comment.
+const (
+	D = 2
+	E = 3
+)
+
+var V = 4
+
+func unexported() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Undocumented exports in test files must not be flagged.
+	if err := os.WriteFile(filepath.Join(dir, "a_test.go"), []byte("package x\n\nfunc TestHelperExported() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"Exported": false, "T": false, "N": false, "C": false, "V": false}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(want), strings.Join(findings, "\n"))
+	}
+	for _, f := range findings {
+		matched := false
+		for name := range want {
+			if strings.Contains(f, " "+name+" ") {
+				want[name] = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("undocumented %s not flagged", name)
+		}
+	}
+}
+
+// TestLintDirError checks unparsable input surfaces as an error.
+func TestLintDirError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte("not go"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lintDir(dir); err == nil {
+		t.Fatal("lintDir accepted unparsable source")
+	}
+}

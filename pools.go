@@ -59,14 +59,41 @@
 // the simulated Butterfly, so `poolbench -exp policy` measures exactly
 // the policies this library executes.
 //
+// # Locality-aware policies
+//
+// On machines where "remote" is not one cost, three policies consult
+// where things live instead of being blind to it. LocalityVictimOrder
+// ranks steal victims by a CostModel (cheapest first, falling back to a
+// paper algorithm when costs are victim-uniform); EmptiestPlacement
+// probes segment sizes and lands adds on the emptiest segment; and the
+// "per-handle" policy set gives every handle its own adaptive controller
+// so a producer-heavy handle and a consumer-heavy one converge to
+// different steal fractions:
+//
+//	costs := pools.ButterflyCosts().WithTopology(pools.ClusterTopology{Size: 4}).WithExtraDelay(1000)
+//	p, _ := pools.New[Task](pools.Options{
+//		Segments: 16,
+//		Policies: pools.PolicySet{
+//			Order: pools.LocalityVictimOrder{Model: costs},
+//			Place: pools.EmptiestPlacement{},
+//		},
+//	})
+//	set, _ := pools.PolicyByName("per-handle")
+//
+// `poolbench -exp locality` and `-exp trace` measure these; see
+// docs/EXPERIMENTS.md.
+//
 // The packages under internal/ hold the implementation, the simulated
 // 16-processor Butterfly used to reproduce the paper's measurements, the
 // experiment harness (cmd/poolbench regenerates every table and figure),
 // and the tic-tac-toe application study (cmd/tictactoe).
+// docs/ARCHITECTURE.md maps the packages and how a policy decision
+// travels through both substrates.
 package pools
 
 import (
 	"pools/internal/core"
+	"pools/internal/numa"
 	"pools/internal/policy"
 	"pools/internal/search"
 )
@@ -133,17 +160,45 @@ type (
 	GiftOnePlacement = policy.GiftOne
 	// LocalPlacement keeps every add in the adder's own segment.
 	LocalPlacement = policy.Local
+	// EmptiestPlacement probes segment sizes and lands each add on the
+	// emptiest segment probed (gifting to hungry searchers first).
+	EmptiestPlacement = policy.GiftToEmptiest
 	// SearchOrder is the VictimOrder wrapping a search algorithm, e.g.
 	// SearchOrder{Kind: SearchTree}.
 	SearchOrder = policy.Order
+	// LocalityVictimOrder ranks steal victims by expected access cost
+	// under a CostModel, visiting near victims first.
+	LocalityVictimOrder = policy.LocalityOrder
+	// PerHandleControl hands every pool handle its own independent
+	// adaptive controller; see NewPerHandlePolicy.
+	PerHandleControl = policy.PerHandle
 )
+
+// CostModel maps memory accesses to time by access kind, accessor, and
+// home processor; see internal/numa. Build one with ButterflyCosts and
+// shape it with WithExtraDelay / WithTopology.
+type CostModel = numa.CostModel
+
+// ClusterTopology groups processors into fixed-size clusters: remote
+// references inside a cluster are near (one hop), across clusters far.
+type ClusterTopology = numa.Clusters
+
+// ButterflyCosts returns the cost model calibrated to the paper's
+// measured BBN Butterfly (70 µs local add, 110 µs local remove, remote
+// about 4x local).
+func ButterflyCosts() CostModel { return numa.ButterflyCosts() }
 
 // NewAdaptivePolicy returns a fresh adaptive steal policy/controller pair
 // (one per pool; adaptive state must not be shared between pools).
 func NewAdaptivePolicy() *AdaptiveSteal { return policy.NewAdaptive() }
 
+// NewPerHandlePolicy returns a fresh per-handle adaptive policy: each
+// pool handle spawns its own controller from it (one per pool, like
+// NewAdaptivePolicy).
+func NewPerHandlePolicy() *PerHandleControl { return policy.NewPerHandle() }
+
 // PolicyByName returns a fresh PolicySet for a steal-policy name: "half",
-// "one", "proportional", or "adaptive".
+// "one", "proportional", "adaptive", or "per-handle".
 func PolicyByName(name string) (PolicySet, error) { return policy.Named(name) }
 
 // SearchKind selects the steal-search algorithm.
