@@ -6,7 +6,7 @@ GO ?= go
 # (baseline was 87.9% when the gate was introduced).
 COVER_FLOOR ?= 85.0
 
-.PHONY: build test race fuzz-smoke bench-smoke vet cover policy-smoke docs-check ci
+.PHONY: build test race fuzz-smoke bench-smoke vet cover policy-smoke docs-check bench-check bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,29 @@ cover:
 
 policy-smoke:
 	$(GO) run ./cmd/poolbench -exp policy -trials 1 -ops 1000 -csv > /dev/null
+	$(GO) run ./cmd/poolbench -exp hier -trials 1 -ops 1000 -csv > /dev/null
+
+# Benchmark-regression gate: rerun the bench suite and compare per-
+# benchmark ns/op against the committed baseline via the geomean rule
+# (internal/tools/benchdiff; a geomean regression beyond BENCH_THRESHOLD
+# percent fails). The gate is the geomean over the suite, smoothed by
+# -count=4, and only benchmarks whose baseline is >= BENCH_MIN_NS gate:
+# at -benchtime=1x a sub-100µs benchmark times a handful of operations —
+# timer noise, not signal — and would flap the geomean (such rows are
+# still printed). The baseline is machine-shaped: after an intentional
+# performance change — or when CI runners drift from the machine that
+# recorded it — run `make bench-baseline` in the checking environment and
+# commit the new BENCH_BASELINE.json.
+BENCH_THRESHOLD ?= 15
+BENCH_MIN_NS ?= 100000
+
+bench-check:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=4 . > bench.out || (cat bench.out; exit 1)
+	$(GO) run ./internal/tools/benchdiff -baseline BENCH_BASELINE.json -threshold $(BENCH_THRESHOLD) -min-ns $(BENCH_MIN_NS) bench.out
+
+bench-baseline:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=4 . > bench.out || (cat bench.out; exit 1)
+	$(GO) run ./internal/tools/benchdiff -baseline BENCH_BASELINE.json -update bench.out
 
 # Documentation gate: the handbooks exist and are linked from README,
 # every exported identifier in the policy/numa packages carries a doc
@@ -53,4 +76,4 @@ docs-check:
 	$(GO) run ./internal/tools/doclint ./internal/policy ./internal/numa
 	$(GO) build -tags docsexamples ./internal/docexamples
 
-ci: build vet test race fuzz-smoke bench-smoke cover policy-smoke docs-check
+ci: build vet test race fuzz-smoke bench-smoke cover policy-smoke docs-check bench-check

@@ -9,11 +9,13 @@
 //	poolbench -exp app -depth 2         # smaller game tree
 //	poolbench -exp policy -csv          # steal-policy sweep + CSV
 //	poolbench -exp locality -csv        # victim orders under clustered delays
+//	poolbench -exp hier -csv            # hierarchical cluster-first stealing
+//	poolbench -exp keyedloc -csv        # keyed sweep orders on clusters
 //	poolbench -exp trace -csv           # per-handle controller trajectories
 //
 // Experiments: fig2, fig3, fig4, fig5, fig6, fig7, algos, arrange, delay,
-// steal, roles, burst, policy, locality, trace, app, all. See
-// docs/EXPERIMENTS.md for what each reproduces and its expected shape.
+// steal, roles, burst, policy, locality, hier, keyedloc, trace, app, all.
+// See docs/EXPERIMENTS.md for what each reproduces and its expected shape.
 package main
 
 import (
@@ -37,7 +39,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("poolbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|policy|locality|trace|app|all")
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|policy|locality|hier|keyedloc|trace|app|all")
 	trials := fs.Int("trials", workload.PaperTrials, "trials averaged per data point")
 	seed := fs.Uint64("seed", 1989, "master seed")
 	ops := fs.Int("ops", workload.PaperTotalOps, "operations per trial")
@@ -142,6 +144,22 @@ var experiments = []experiment{
 		out := harness.RenderLocality(rows)
 		if csv {
 			out += "\n" + harness.LocalityCSV(rows)
+		}
+		return out
+	}},
+	{"hier", "hierarchical cluster-first stealing vs flat and locality orders (cross-cluster probe fraction)", func(cfg harness.Config, _ int, csv bool) string {
+		rows := harness.HierSweep(cfg, harness.LocalityScales())
+		out := harness.RenderHier(rows)
+		if csv {
+			out += "\n" + harness.HierCSV(rows)
+		}
+		return out
+	}},
+	{"keyedloc", "keyed pool sweep orders on a clustered topology (ring vs locality vs hierarchical rank)", func(cfg harness.Config, _ int, csv bool) string {
+		rows := harness.KeyedLocalitySweep(cfg, harness.LocalityScales())
+		out := harness.RenderKeyedLoc(rows)
+		if csv {
+			out += "\n" + harness.KeyedLocCSV(rows)
 		}
 		return out
 	}},

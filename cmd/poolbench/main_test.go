@@ -93,6 +93,34 @@ func TestRunLocalityExperiment(t *testing.T) {
 	}
 }
 
+func TestRunHierExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "hier", "-trials", "1", "-ops", "600", "-fill", "64", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"## hier", "cross-cluster probe fraction", "vs best flat", "order,delay_us,cross_probe_frac"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("hier output missing %q", want)
+		}
+	}
+}
+
+func TestRunKeyedLocExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "keyedloc", "-trials", "1", "-ops", "600", "-fill", "64", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"## keyedloc", "Keyed locality sweep", "cross-frac", "order,delay_us,probes_per_get"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("keyedloc output missing %q", want)
+		}
+	}
+}
+
 func TestRunTraceExperiment(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-exp", "trace", "-trials", "1", "-ops", "1200", "-fill", "96", "-csv"}, &out)

@@ -119,6 +119,17 @@ func sinceMicros(start time.Time) int64 {
 	return time.Since(start).Microseconds()
 }
 
+// noteProbe classifies one remote segment probe against the pool's hop
+// topology for the cross-cluster accounting (no-op for local probes or
+// when stats are off).
+func (h *Handle[T]) noteProbe(s int) {
+	if s == h.id || !h.pool.opts.CollectStats {
+		return
+	}
+	t := h.pool.topo
+	h.stats.RecordProbe(t != nil && t.Distance(h.id, s) > 1)
+}
+
 // directTarget consults the Director placement (when the pool has one)
 // for where an add of n elements should land, charging one probe delay
 // per examined segment — probing is not free, exactly as in the
@@ -130,6 +141,7 @@ func (h *Handle[T]) directTarget(n int) int {
 	}
 	t := p.dir.Direct(h.id, len(p.segs), n, func(s int) int {
 		p.opts.Delay.Delay(numa.AccessProbe, h.id, s)
+		h.noteProbe(s)
 		seg := &p.segs[s]
 		seg.mu.Lock()
 		l := seg.dq.Len()
@@ -566,6 +578,7 @@ func (w *world[T]) TrySteal(sIdx int) int {
 	p := h.pool
 	self := h.id
 	p.opts.Delay.Delay(numa.AccessProbe, self, sIdx)
+	h.noteProbe(sIdx)
 
 	if sIdx == self {
 		s := &p.segs[self]

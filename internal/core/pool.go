@@ -101,6 +101,14 @@ type Options struct {
 	// Delay, when non-zero, injects wall-clock busy-waits per access to
 	// emulate a NUMA or loosely-coupled machine (Section 4.3's delays).
 	Delay numa.Delayer
+	// Topology assigns hop distances to segment pairs, making "remote"
+	// non-uniform on the real pool exactly as CostModel.Topo does in the
+	// simulator. It feeds two things: CollectStats classifies every remote
+	// probe as near or cross-cluster (metrics.PoolStats.CrossProbes), and
+	// when Delay is active with no topology of its own, the Delayer's cost
+	// model inherits this one so busy-wait delays scale with hop distance.
+	// Nil falls back to Delay.Model.Topo (uniform when that is nil too).
+	Topology numa.Topology
 	// TreeLocking, when true, protects tree round counters with mutexes as
 	// the paper describes; the default uses lock-free atomic max, a modern
 	// equivalent measured as an ablation.
@@ -148,6 +156,7 @@ type Pool[T any] struct {
 	opts    Options
 	pol     policy.Set      // resolved policies (no nil slots)
 	dir     policy.Director // size-aware placement, if Policies.Place is one
+	topo    numa.Topology   // resolved hop distances (nil = uniform)
 	segs    []seg[T]
 	nodes   []treeNode   // heap-indexed tree round counters (tree search only)
 	boxes   []mailbox[T] // directed-add mailboxes (directed placement only)
@@ -189,9 +198,19 @@ func New[T any](opts Options) (*Pool[T], error) {
 	// zero-overhead pool as the zero-value configuration.
 	_, localPlace := pol.Place.(policy.Local)
 	directed := !localPlace
+	// Resolve the hop topology: an explicit Options.Topology wins and is
+	// threaded into an active Delayer that has none, so the same rings
+	// drive both the injected delays and the cross-probe accounting.
+	topo := opts.Topology
+	if topo == nil {
+		topo = opts.Delay.Model.Topo
+	} else if opts.Delay.Scale != 0 && opts.Delay.Model.Topo == nil {
+		opts.Delay.Model.Topo = topo
+	}
 	p := &Pool[T]{
 		opts:   opts,
 		pol:    pol,
+		topo:   topo,
 		segs:   make([]seg[T], opts.Segments),
 		leaves: search.NumLeavesFor(opts.Segments),
 	}
@@ -215,7 +234,7 @@ func New[T any](opts Options) (*Pool[T], error) {
 			id:       i,
 			ctl:      ctl,
 			steal:    steal,
-			searcher: pol.Order.Searcher(i, opts.Segments, rng.SubSeed(opts.Seed, i)),
+			searcher: policy.BuildSearcher(pol.Order, i, opts.Segments, rng.SubSeed(opts.Seed, i), ctl),
 		}
 		p.handles[i].world.h = p.handles[i]
 	}

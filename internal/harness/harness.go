@@ -77,6 +77,7 @@ type Point struct {
 	AbortsPerOp      float64 // abort frequency
 	MixAchieved      float64 // fraction of completed ops that were adds
 	MakespanMean     float64 // virtual µs
+	CrossProbeFrac   float64 // fraction of remote probes crossing a cluster boundary
 }
 
 // average runs cfg.Trials simulated trials of run and averages the paper's
@@ -102,6 +103,7 @@ func (c Config) average(x float64, run func(trialSeed uint64) sim.RunResult) Poi
 		}
 		pt.MixAchieved += st.MixAchieved() / n
 		pt.MakespanMean += float64(res.Makespan) / n
+		pt.CrossProbeFrac += st.CrossProbeFraction() / n
 	}
 	return pt
 }

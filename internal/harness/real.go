@@ -33,6 +33,11 @@ type RealRunConfig struct {
 	Policies policy.Set
 	Steal    core.StealPolicy // deprecated steal-one alias; see core.Options.Steal
 	Delay    numa.Delayer
+	// Topology assigns hop distances to segments so the real pool can run
+	// the clustered experiments: cross-cluster probes are counted in the
+	// result stats, and an active Delay without its own topology inherits
+	// this one (see core.Options.Topology).
+	Topology numa.Topology
 	Directed bool // enable the Section 5 directed-adds extension
 }
 
@@ -57,6 +62,7 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 		Policies:     cfg.Policies,
 		Steal:        cfg.Steal,
 		Delay:        cfg.Delay,
+		Topology:     cfg.Topology,
 		DirectedAdds: cfg.Directed,
 		CollectStats: true,
 	})

@@ -1,0 +1,93 @@
+package keyed
+
+import (
+	"sync"
+	"testing"
+
+	"pools/internal/numa"
+	"pools/internal/policy"
+)
+
+// TestKeyedHierarchicalRank checks the keyed sweep walks cluster-first
+// under a hierarchical order: a Get that misses locally steals from the
+// cluster mate's bucket, never crossing while a near match exists, and
+// the probe accounting agrees.
+func TestKeyedHierarchicalRank(t *testing.T) {
+	topo := numa.Clusters{Size: 4}
+	p, err := New[string, int](Options{
+		Segments: 8,
+		Policies: policy.Set{Order: policy.HierarchicalOrder{Topo: topo}},
+		Topology: topo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class "x" lives both at the cluster mate (segment 1) and across the
+	// boundary (segment 5).
+	p.Handle(1).PutAll("x", []int{1, 2, 3, 4})
+	p.Handle(5).PutAll("x", []int{5, 6, 7, 8})
+	if _, ok := p.Handle(0).Get("x"); !ok {
+		t.Fatal("Get missed with 8 matching elements pooled")
+	}
+	if got := p.LenKey("x"); got != 7 {
+		t.Fatalf("LenKey = %d, want 7", got)
+	}
+	remote, cross := p.ProbeStats()
+	if remote == 0 {
+		t.Fatal("no remote probes recorded")
+	}
+	if cross != 0 {
+		t.Fatalf("%d cross probes recorded, want 0 (near bucket available)", cross)
+	}
+	// Drain the near copies; the next misses must escalate and cross.
+	h := p.Handle(0)
+	for p.LenKey("x") > 0 {
+		if _, ok := h.Get("x"); !ok {
+			t.Fatal("Get missed with matching elements pooled")
+		}
+	}
+	if _, cross := p.ProbeStats(); cross == 0 {
+		t.Fatal("far bucket consumed without a recorded crossing")
+	}
+	// Absent class: the sweep still terminates (full coverage) and
+	// reports a miss.
+	if _, ok := h.Get("nope"); ok {
+		t.Fatal("Get invented an element of an absent class")
+	}
+}
+
+// TestKeyedProbeStatsUnderRace drives concurrent keyed handles with the
+// hierarchical rank and topology accounting on; the race detector guards
+// the per-handle counters, and ProbeStats is read only after the workers
+// join.
+func TestKeyedProbeStatsUnderRace(t *testing.T) {
+	topo := numa.Clusters{Size: 2}
+	p, err := New[int, int](Options{
+		Segments: 4,
+		Policies: policy.Set{Order: policy.HierarchicalOrder{Topo: topo}},
+		Topology: topo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := p.Handle(w)
+			for i := 0; i < 200; i++ {
+				h.Put(i%3, i)
+				h.Get((i + 1) % 3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	remote, cross := p.ProbeStats()
+	if cross > remote {
+		t.Fatalf("cross probes %d exceed remote probes %d", cross, remote)
+	}
+	if remote == 0 {
+		t.Fatal("no sweeps recorded under contention")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pools/internal/numa"
 	"pools/internal/policy"
 	"pools/internal/search"
 	"pools/internal/segment"
@@ -47,6 +48,13 @@ type Options struct {
 	// mailbox placements are ignored (the keyed pool has no directed-add
 	// mailboxes) but policy.Director placements are honored.
 	Policies policy.Set
+	// Topology assigns hop distances to segment pairs. When set, every
+	// remote probe a sweep performs is classified as near or cross-cluster
+	// (see Pool.ProbeStats) — the measure the keyed locality experiments
+	// report. It does not change the sweep order by itself; pair it with a
+	// topology-aware Ranker order (policy.HierarchicalOrder or
+	// policy.LocalityOrder) to make sweeps cluster-first.
+	Topology numa.Topology
 	// Steal selects how many elements a bucket steal transfers.
 	//
 	// Deprecated: consulted only when Policies.Steal is nil. Set
@@ -153,6 +161,24 @@ type Handle[K comparable, V any] struct {
 	steal     policy.StealAmount // this handle's steal amount
 	rank      []int              // ranked sweep order (nil = ring order from lastFound)
 	lastFound int                // segment where elements were last stolen
+
+	// Probe accounting under Options.Topology (unsynchronized, like the
+	// plain pool's per-handle stats; read via Pool.ProbeStats after the
+	// workers join).
+	remoteProbes int64
+	crossProbes  int64
+}
+
+// ProbeStats sums every handle's remote-probe accounting: how many sweep
+// probes touched another segment, and how many of those crossed a cluster
+// boundary under Options.Topology (always 0 without one). Like Stats on
+// the plain pool, call it only while no operations are in flight.
+func (p *Pool[K, V]) ProbeStats() (remote, cross int64) {
+	for _, h := range p.handles {
+		remote += h.remoteProbes
+		cross += h.crossProbes
+	}
+	return remote, cross
 }
 
 // ID returns the handle's segment index.
@@ -175,6 +201,12 @@ func (h *Handle[K, V]) directTarget(n int) int {
 		return h.id
 	}
 	t := p.dir.Direct(h.id, len(p.segs), n, func(sIdx int) int {
+		if sIdx != h.id {
+			h.remoteProbes++
+			if topo := p.opts.Topology; topo != nil && topo.Distance(h.id, sIdx) > 1 {
+				h.crossProbes++
+			}
+		}
 		s := &p.segs[sIdx]
 		s.mu.Lock()
 		l := s.total
@@ -260,6 +292,7 @@ func (h *Handle[K, V]) GetN(k K, max int) []V {
 // the shared walk behind Get, GetAny, and GetN.
 func (h *Handle[K, V]) sweep(probe func(sIdx int) bool) (bool, int) {
 	n := len(h.pool.segs)
+	topo := h.pool.opts.Topology
 	probes := n * h.pool.opts.Sweeps
 	for i := 0; i < probes; i++ {
 		var sIdx int
@@ -269,6 +302,12 @@ func (h *Handle[K, V]) sweep(probe func(sIdx int) bool) (bool, int) {
 			sIdx = h.lastFound + i
 			for sIdx >= n {
 				sIdx -= n
+			}
+		}
+		if sIdx != h.id {
+			h.remoteProbes++
+			if topo != nil && topo.Distance(h.id, sIdx) > 1 {
+				h.crossProbes++
 			}
 		}
 		if probe(sIdx) {

@@ -52,6 +52,34 @@ type PoolStats struct {
 	// in Adds/Removes, so Adds/AddTime.N() is the achieved add batch size.
 	BatchAdds    int64 // PutAll calls that placed at least one element
 	BatchRemoves int64 // GetN calls that obtained at least one element
+
+	// Topology accounting (hierarchical-steal extension): every remote
+	// segment probe — steal searches and Director placement sweeps alike —
+	// is classified by the pool's numa.Topology. A probe is "cross" when
+	// its hop distance exceeds 1 (it left the prober's cluster), the
+	// dominant cost on loosely-coupled machines.
+	RemoteProbes int64 // probes of segments other than the prober's own
+	CrossProbes  int64 // remote probes that crossed a cluster boundary
+}
+
+// RecordProbe classifies one remote segment probe: cross reports whether
+// it crossed a cluster boundary (hop distance > 1).
+func (s *PoolStats) RecordProbe(cross bool) {
+	s.RemoteProbes++
+	if cross {
+		s.CrossProbes++
+	}
+}
+
+// CrossProbeFraction returns the fraction of remote probes that crossed a
+// cluster boundary — the headline measure of the hierarchical-steal and
+// topology-aware-placement policies (0 when nothing was probed, or when
+// the pool ran without a topology).
+func (s *PoolStats) CrossProbeFraction() float64 {
+	if s.RemoteProbes == 0 {
+		return 0
+	}
+	return float64(s.CrossProbes) / float64(s.RemoteProbes)
 }
 
 // RecordAdd records one completed add and its duration.
@@ -132,6 +160,8 @@ func (s *PoolStats) Merge(o *PoolStats) {
 	s.DirectedReceives += o.DirectedReceives
 	s.BatchAdds += o.BatchAdds
 	s.BatchRemoves += o.BatchRemoves
+	s.RemoteProbes += o.RemoteProbes
+	s.CrossProbes += o.CrossProbes
 }
 
 // Ops returns the number of completed element movements (adds + removes).

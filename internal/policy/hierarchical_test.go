@@ -1,0 +1,269 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"pools/internal/numa"
+	"pools/internal/search"
+)
+
+// probeWorld is a scripted search.World: segment sizes are fixed, every
+// probe is recorded, and the search aborts after maxProbes fruitless
+// probes so escalation paths can be observed on an empty pool.
+type probeWorld struct {
+	self    int
+	sizes   []int
+	visited []int
+	max     int
+}
+
+func (w *probeWorld) Segments() int { return len(w.sizes) }
+func (w *probeWorld) Self() int     { return w.self }
+func (w *probeWorld) Aborted() bool { return len(w.visited) >= w.max }
+func (w *probeWorld) TrySteal(s int) int {
+	w.visited = append(w.visited, s)
+	return w.sizes[s]
+}
+
+// clustered2 is the 6-segment, 2-per-cluster topology the tests use:
+// rings from segment 0 are {0}, {1}, {2,3,4,5}.
+var clustered2 = numa.Clusters{Size: 2}
+
+func TestHierarchicalRankClusterFirst(t *testing.T) {
+	o := HierarchicalOrder{Topo: clustered2}
+	got := o.Rank(3, 6)
+	// Cluster of 3 is {2,3}: self first, cluster mate next, then the far
+	// ring clockwise from self.
+	want := []int{3, 2, 4, 5, 0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Rank(3,6) = %v, want %v", got, want)
+	}
+}
+
+func TestHierarchicalRankUniformDelegates(t *testing.T) {
+	if got := (HierarchicalOrder{Topo: numa.Uniform{}}).Rank(0, 6); got != nil {
+		t.Fatalf("uniform topology ranked %v, want nil (keep default sweep)", got)
+	}
+	// A ranking inner order still contributes under a ring-less topology.
+	costs := numa.ButterflyCosts().WithTopology(clustered2).WithExtraDelay(10)
+	o := HierarchicalOrder{Topo: numa.Uniform{}, Inner: LocalityOrder{Model: costs}}
+	inner := LocalityOrder{Model: costs}.Rank(0, 6)
+	if got := o.Rank(0, 6); !reflect.DeepEqual(got, inner) {
+		t.Fatalf("uniform-topology rank = %v, want inner locality rank %v", got, inner)
+	}
+}
+
+func TestHierarchicalSearcherExhaustsClusterBeforeCrossing(t *testing.T) {
+	o := HierarchicalOrder{Topo: clustered2}
+	s := o.Searcher(0, 6, 1)
+	if s.Kind() != search.Hierarchical {
+		t.Fatalf("Kind = %v, want Hierarchical", s.Kind())
+	}
+	w := &probeWorld{self: 0, sizes: make([]int, 6), max: 8}
+	s.Search(w)
+	// Default threshold = one full fruitless pass of the frontier {0,1},
+	// then the far ring in order, then wrap to the full preference.
+	want := []int{0, 1, 2, 3, 4, 5, 0, 1}
+	if !reflect.DeepEqual(w.visited, want) {
+		t.Fatalf("visit order = %v, want %v", w.visited, want)
+	}
+}
+
+func TestHierarchicalSearcherFindsLocalWithoutCrossing(t *testing.T) {
+	o := HierarchicalOrder{Topo: clustered2}
+	s := o.Searcher(4, 6, 1)
+	w := &probeWorld{self: 4, sizes: []int{9, 9, 9, 9, 0, 2}, max: 100}
+	res := s.Search(w)
+	if res.FoundAt != 5 || res.Examined != 2 {
+		t.Fatalf("result = %+v, want steal from cluster mate 5 on probe 2", res)
+	}
+	for _, v := range w.visited {
+		if clustered2.Distance(4, v) > 1 {
+			t.Fatalf("crossed cluster boundary to %d with a non-empty mate available", v)
+		}
+	}
+}
+
+func TestHierarchicalThresholdLargerThanCluster(t *testing.T) {
+	// Threshold 5 over a 2-segment frontier: the searcher laps its own
+	// cluster before admitting the far ring.
+	o := HierarchicalOrder{Topo: clustered2, Threshold: 5}
+	s := o.Searcher(0, 6, 1)
+	w := &probeWorld{self: 0, sizes: make([]int, 6), max: 7}
+	s.Search(w)
+	want := []int{0, 1, 0, 1, 0, 2, 3}
+	if !reflect.DeepEqual(w.visited, want) {
+		t.Fatalf("visit order = %v, want %v", w.visited, want)
+	}
+}
+
+func TestHierarchicalThresholdNegativeEscalatesImmediately(t *testing.T) {
+	// The flat ablation: every fruitless probe admits the next ring, so
+	// the searcher reaches the far ring after a single local probe.
+	o := HierarchicalOrder{Topo: clustered2, Threshold: -1}
+	s := o.Searcher(0, 6, 1)
+	w := &probeWorld{self: 0, sizes: make([]int, 6), max: 6}
+	s.Search(w)
+	if w.visited[1] != 2 {
+		t.Fatalf("visit order = %v, want far ring admitted after one probe", w.visited)
+	}
+	// Every segment is still reached once the full preference cycles.
+	seen := map[int]bool{}
+	for _, v := range w.visited {
+		seen[v] = true
+	}
+	for seg := 0; seg < 6; seg++ {
+		if seg == 1 {
+			continue // reached on the next wrap beyond this probe budget
+		}
+		if !seen[seg] {
+			t.Fatalf("segment %d never probed in %v", seg, w.visited)
+		}
+	}
+}
+
+func TestHierarchicalUniformDelegatesToInner(t *testing.T) {
+	o := HierarchicalOrder{Inner: Order{Kind: search.Linear}}
+	s := o.Searcher(0, 4, 1)
+	if s.Kind() != search.Linear {
+		t.Fatalf("nil-topology searcher kind = %v, want delegation to linear", s.Kind())
+	}
+	if k := o.SearchKind(); k != search.Linear {
+		t.Fatalf("SearchKind = %v, want linear", k)
+	}
+	if name := o.Name(); name != "hier-linear" {
+		t.Fatalf("Name = %q", name)
+	}
+}
+
+func TestHierarchicalRandomInnerIsSeededPermutation(t *testing.T) {
+	o := HierarchicalOrder{Topo: clustered2, Inner: Order{Kind: search.Random}}
+	a := o.SearcherFor(0, 6, 7, nil).(*hierSearcher)
+	b := o.SearcherFor(0, 6, 7, nil).(*hierSearcher)
+	c := o.SearcherFor(0, 6, 8, nil).(*hierSearcher)
+	if !reflect.DeepEqual(a.order, b.order) {
+		t.Fatalf("same seed gave different orders: %v vs %v", a.order, b.order)
+	}
+	if reflect.DeepEqual(a.order, c.order) {
+		t.Logf("distinct seeds coincided (possible but unlikely): %v", a.order)
+	}
+	if a.order[0] != 0 {
+		t.Fatalf("self not first: %v", a.order)
+	}
+	// Ring structure must survive the shuffle: cluster mate before any
+	// far segment.
+	if a.order[1] != 1 {
+		t.Fatalf("cluster mate not in the first frontier: %v", a.order)
+	}
+}
+
+// fixedEscalator pins the tuned threshold for testing ControlAware wiring.
+type fixedEscalator struct{ t int }
+
+func (f fixedEscalator) Observe(Feedback)            {}
+func (f fixedEscalator) BatchSize(c int) int         { return c }
+func (f fixedEscalator) StealFraction() float64      { return 0.5 }
+func (f fixedEscalator) Name() string                { return "fixed" }
+func (f fixedEscalator) EscalationThreshold(int) int { return f.t }
+
+func TestHierarchicalControllerTunesThreshold(t *testing.T) {
+	o := HierarchicalOrder{Topo: clustered2}
+	s := BuildSearcher(o, 0, 6, 1, fixedEscalator{t: 1})
+	w := &probeWorld{self: 0, sizes: make([]int, 6), max: 3}
+	s.Search(w)
+	// Tuned threshold 1: one fruitless probe escalates, so the far ring
+	// is admitted after probing self only.
+	want := []int{0, 2, 3}
+	if !reflect.DeepEqual(w.visited, want) {
+		t.Fatalf("visit order = %v, want %v (threshold tuned to 1)", w.visited, want)
+	}
+}
+
+func TestAdaptiveEscalationThreshold(t *testing.T) {
+	a := NewAdaptive()
+	if got := a.EscalationThreshold(4); got != 4 {
+		t.Fatalf("fresh adaptive threshold = %d, want untouched base 4", got)
+	}
+	// Long searches (many probes per steal, no aborts) raise the batch
+	// shift, which halves the escalation threshold.
+	for i := 0; i < adaptWindow; i++ {
+		a.Observe(Feedback{Stole: true, Examined: 10, Got: 1})
+	}
+	if got := a.EscalationThreshold(4); got != 2 {
+		t.Fatalf("post-window threshold = %d, want 2 (shift 1)", got)
+	}
+	if got := a.EscalationThreshold(1); got != 1 {
+		t.Fatalf("threshold floor = %d, want 1", got)
+	}
+	p := NewPerHandle()
+	if got := p.EscalationThreshold(3); got != 3 {
+		t.Fatalf("aggregate per-handle threshold = %d, want base", got)
+	}
+	if got := p.EscalationThreshold(0); got != 1 {
+		t.Fatalf("aggregate per-handle threshold floor = %d, want 1", got)
+	}
+}
+
+func TestNearestEmptiestZeroModelActsLikeEmptiest(t *testing.T) {
+	g := GiftToNearestEmptiest{}
+	sizes := []int{5, 3, 0, 7}
+	got := g.Direct(0, 4, 1, func(s int) int { return sizes[s] })
+	if got != 2 {
+		t.Fatalf("Direct = %d, want emptiest segment 2", got)
+	}
+}
+
+func TestNearestEmptiestPrefersNearUnderHopCost(t *testing.T) {
+	// Clusters of 2 over 6 segments with a heavy per-hop delay: segment 4
+	// is empty but four hops away; the cluster mate holds 2. The add
+	// should stay near — the far segment's emptiness cannot buy back
+	// 3 extra hops of RemoteExtra.
+	costs := numa.ButterflyCosts().WithTopology(clustered2).WithExtraDelay(1000)
+	g := GiftToNearestEmptiest{Model: costs, Probes: -1}
+	sizes := []int{3, 2, 9, 9, 0, 9}
+	probed := 0
+	got := g.Direct(0, 6, 1, func(s int) int { probed++; return sizes[s] })
+	if got != 1 {
+		t.Fatalf("Direct = %d, want near segment 1 despite far empty segment", got)
+	}
+	if probed != 6 {
+		t.Fatalf("probed %d segments, want all 6 under Probes=-1", probed)
+	}
+}
+
+func TestNearestEmptiestCrossesWhenWorthIt(t *testing.T) {
+	// With a negligible hop cost the far empty segment wins again.
+	costs := numa.ButterflyCosts().WithTopology(clustered2)
+	g := GiftToNearestEmptiest{Model: costs, Probes: -1}
+	sizes := []int{3, 2, 9, 9, 0, 9}
+	got := g.Direct(0, 6, 1, func(s int) int { return sizes[s] })
+	if got != 4 {
+		t.Fatalf("Direct = %d, want far empty segment 4 under cheap hops", got)
+	}
+}
+
+func TestNearestEmptiestProbeBudgetStaysNear(t *testing.T) {
+	// Probe budget 2 under the clustered model: only the two cheapest
+	// candidates (self and the cluster mate) are ever examined.
+	costs := numa.ButterflyCosts().WithTopology(clustered2).WithExtraDelay(10)
+	g := GiftToNearestEmptiest{Model: costs, Probes: 2}
+	var probedSegs []int
+	g.Direct(0, 6, 1, func(s int) int { probedSegs = append(probedSegs, s); return 0 })
+	if !reflect.DeepEqual(probedSegs, []int{0, 1}) {
+		t.Fatalf("probed %v, want only the near cluster [0 1]", probedSegs)
+	}
+}
+
+func TestNearestEmptiestGiftSplit(t *testing.T) {
+	g := GiftToNearestEmptiest{}
+	if got := g.GiftSplit(8, 0); got != 0 {
+		t.Fatalf("GiftSplit(8,0) = %d, want 0", got)
+	}
+	if got := g.GiftSplit(8, 3); got != 8 {
+		t.Fatalf("GiftSplit(8,3) = %d, want whole batch", got)
+	}
+	if g.Name() != "near-emptiest" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}

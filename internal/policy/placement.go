@@ -1,5 +1,9 @@
 package policy
 
+import (
+	"pools/internal/numa"
+)
+
 // Local keeps every added element in the adder's own segment — the
 // paper's base pool, no directed adds.
 type Local struct{}
@@ -140,3 +144,123 @@ func (g GiftToEmptiest) Direct(self, segments, _ int, size func(seg int) int) in
 
 // Name implements Placement.
 func (GiftToEmptiest) Name() string { return "emptiest" }
+
+// GiftToNearestEmptiest is the topology-aware Director: where
+// GiftToEmptiest chases pure emptiness — paying a far cluster's add cost
+// whenever a far segment happens to be emptiest — this placement weighs a
+// candidate's emptiness against the hop cost of reaching it. Each add
+// probes the Probes cheapest segments (nearest rings first under the cost
+// model's topology) and lands on the segment minimizing
+//
+//	Model.Cost(AccessAdd, self, seg) + Weight × size(seg)
+//
+// i.e. the transfer cost of the add itself plus a per-queued-element
+// penalty: an element parked behind size(seg) others is that much less
+// useful to a starving consumer. With a zero-valued Model every candidate
+// costs alike and the policy degenerates to GiftToEmptiest's ring sweep.
+type GiftToNearestEmptiest struct {
+	// Model supplies hop-aware access costs (and, through Model.Topo, the
+	// nearest-first probe order). The zero value charges nothing, reducing
+	// the score to pure emptiness.
+	Model numa.CostModel
+	// Probes bounds how many segments each add examines, cheapest-first.
+	// 0 means DefaultProbes; negative probes every segment.
+	Probes int
+	// Weight is the score penalty per element already queued at a
+	// candidate, in the Model's virtual µs. 0 means one near-remote add
+	// (AddCost × RemoteFactor + one hop of RemoteExtra): a surplus element
+	// costs roughly what it costs a dry neighbor to come steal it. 1 when
+	// the model is zero-valued (pure emptiness).
+	Weight int64
+}
+
+var _ Director = GiftToNearestEmptiest{}
+
+// GiftSplit implements Placement: like GiftToEmptiest, hungry searchers
+// get the whole batch first (a mailbox delivery spares a search — no hop
+// cost competes with that).
+func (GiftToNearestEmptiest) GiftSplit(n, hungry int) int {
+	if hungry == 0 {
+		return 0
+	}
+	return n
+}
+
+// weight resolves the per-queued-element penalty: one near-remote add
+// under the model, or 1 for a zero-valued model.
+func (g GiftToNearestEmptiest) weight() int64 {
+	if g.Weight > 0 {
+		return g.Weight
+	}
+	f := g.Model.RemoteFactor
+	if f < 1 {
+		f = 1
+	}
+	if w := g.Model.AddCost*f + g.Model.RemoteExtra; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Direct implements Director: probe the Probes cheapest candidates and
+// return the one with the lowest transfer-plus-queue score. Candidates are
+// ordered by ascending add cost with ring order from self as the tiebreak,
+// so the local segment is always probed and equal-cost ties stay near.
+// This runs on the Put hot path, so the cheapest-candidate selection is a
+// single bounded insertion pass (two probes-sized buffers), not a
+// segments-sized sort.
+func (g GiftToNearestEmptiest) Direct(self, segments, _ int, size func(seg int) int) int {
+	probes := g.Probes
+	if probes == 0 {
+		probes = DefaultProbes
+	}
+	if probes < 0 || probes > segments {
+		probes = segments
+	}
+	w := g.weight()
+	if probes == segments {
+		// Exhaustive: every segment is probed, no selection needed.
+		best, bestScore := self, int64(-1)
+		for off := 0; off < segments; off++ {
+			s := (self + off) % segments // ring order = score tiebreak
+			score := g.Model.Cost(numa.AccessAdd, self, s) + w*int64(size(s))
+			if bestScore < 0 || score < bestScore {
+				best, bestScore = s, score
+			}
+		}
+		return best
+	}
+	// Keep the probes cheapest segments, walking the ring from self so
+	// equal-cost ties stay near (strict > below preserves that order).
+	cand := make([]int, 0, probes)
+	cost := make([]int64, 0, probes)
+	for off := 0; off < segments; off++ {
+		s := (self + off) % segments
+		c := g.Model.Cost(numa.AccessAdd, self, s)
+		if len(cand) == probes && c >= cost[probes-1] {
+			continue
+		}
+		i := len(cand)
+		if i < probes {
+			cand = append(cand, 0)
+			cost = append(cost, 0)
+		} else {
+			i--
+		}
+		for ; i > 0 && cost[i-1] > c; i-- {
+			cand[i], cost[i] = cand[i-1], cost[i-1]
+		}
+		cand[i], cost[i] = s, c
+	}
+	best, bestScore := self, int64(-1)
+	for i, s := range cand {
+		score := cost[i] + w*int64(size(s))
+		if bestScore < 0 || score < bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// Name implements Placement.
+func (GiftToNearestEmptiest) Name() string { return "near-emptiest" }

@@ -7,6 +7,12 @@ package search
 // access cost model.
 const Ordered Kind = -1
 
+// Hierarchical identifies cluster-first escalating searchers (see
+// policy.HierarchicalOrder). Like Ordered it is not a paper algorithm and
+// search.New does not construct it: hierarchical searchers are built by
+// the policy layer from a numa.Topology's hop rings.
+const Hierarchical Kind = -2
+
 // OrderedSearcher visits segments in a fixed preference order, restarting
 // from the front of the order on every search. It models a process that
 // always looks in the cheapest places first — the locality-aware

@@ -37,6 +37,8 @@ func (k Kind) String() string {
 		return "tree"
 	case Ordered:
 		return "ordered"
+	case Hierarchical:
+		return "hierarchical"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

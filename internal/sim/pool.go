@@ -186,7 +186,7 @@ func (p *Pool[T]) Proc(env *Env) *Proc[T] {
 		id:       id,
 		ctl:      ctl,
 		steal:    steal,
-		searcher: p.pol.Order.Searcher(id, p.cfg.Procs, rng.SubSeed(p.cfg.Seed, id)),
+		searcher: policy.BuildSearcher(p.pol.Order, id, p.cfg.Procs, rng.SubSeed(p.cfg.Seed, id), ctl),
 	}
 	pr.world = simWorld[T]{proc: pr}
 	return pr
@@ -233,6 +233,16 @@ func (pr *Proc[T]) Retire() {
 	}
 }
 
+// noteProbe classifies one remote segment probe against the cost model's
+// hop topology for the cross-cluster accounting (no-op for local probes).
+func (pr *Proc[T]) noteProbe(s int) {
+	if s == pr.id {
+		return
+	}
+	t := pr.pool.cfg.Costs.Topo
+	pr.stats.RecordProbe(t != nil && t.Distance(pr.id, s) > 1)
+}
+
 // directTarget consults the Director placement (when the pool has one)
 // for where an add of n elements should land, charging one AccessProbe
 // per examined segment — on the simulated machine, probing for the
@@ -245,6 +255,7 @@ func (pr *Proc[T]) directTarget(n int) int {
 	}
 	t := p.dir.Direct(pr.id, p.cfg.Procs, n, func(s int) int {
 		pr.env.Charge(&p.segRes[s], p.cfg.Costs.Cost(numa.AccessProbe, pr.id, s))
+		pr.noteProbe(s)
 		return p.segs[s].Len()
 	})
 	if t < 0 || t >= p.cfg.Procs {
@@ -436,6 +447,7 @@ func (w *simWorld[T]) TrySteal(s int) int {
 	p := pr.pool
 	env := pr.env
 	env.Charge(&p.segRes[s], p.cfg.Costs.Cost(numa.AccessProbe, pr.id, s))
+	pr.noteProbe(s)
 
 	if s == pr.id {
 		n := p.segs[s].Len()

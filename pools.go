@@ -80,8 +80,25 @@
 //	})
 //	set, _ := pools.PolicyByName("per-handle")
 //
-// `poolbench -exp locality` and `-exp trace` measure these; see
-// docs/EXPERIMENTS.md.
+// On clustered machines two policies go further: HierarchicalVictimOrder
+// exhausts the searcher's own cluster before escalating to the next hop
+// ring (with an escalation threshold the adaptive controllers tune
+// online), and NearestEmptiestPlacement weighs a segment's emptiness
+// against the hop cost of reaching it. Setting Options.Topology makes the
+// pool count cross-cluster probes in its stats:
+//
+//	topo := pools.ClusterTopology{Size: 4}
+//	p, _ := pools.New[Task](pools.Options{
+//		Segments: 16,
+//		Topology: topo,
+//		Policies: pools.PolicySet{
+//			Order: pools.HierarchicalVictimOrder{Topo: topo},
+//			Place: pools.NearestEmptiestPlacement{Model: costs},
+//		},
+//	})
+//
+// `poolbench -exp locality`, `-exp hier`, `-exp keyedloc`, and
+// `-exp trace` measure these; see docs/EXPERIMENTS.md.
 //
 // The packages under internal/ hold the implementation, the simulated
 // 16-processor Butterfly used to reproduce the paper's measurements, the
@@ -163,12 +180,20 @@ type (
 	// EmptiestPlacement probes segment sizes and lands each add on the
 	// emptiest segment probed (gifting to hungry searchers first).
 	EmptiestPlacement = policy.GiftToEmptiest
+	// NearestEmptiestPlacement weighs a candidate segment's emptiness
+	// against the hop cost of reaching it, keeping adds near on clustered
+	// machines unless a farther segment is much emptier.
+	NearestEmptiestPlacement = policy.GiftToNearestEmptiest
 	// SearchOrder is the VictimOrder wrapping a search algorithm, e.g.
 	// SearchOrder{Kind: SearchTree}.
 	SearchOrder = policy.Order
 	// LocalityVictimOrder ranks steal victims by expected access cost
 	// under a CostModel, visiting near victims first.
 	LocalityVictimOrder = policy.LocalityOrder
+	// HierarchicalVictimOrder exhausts the searcher's own cluster —
+	// repeatedly, under a tunable fruitless-probe threshold — before
+	// escalating to the next hop ring of its Topology.
+	HierarchicalVictimOrder = policy.HierarchicalOrder
 	// PerHandleControl hands every pool handle its own independent
 	// adaptive controller; see NewPerHandlePolicy.
 	PerHandleControl = policy.PerHandle
@@ -178,6 +203,15 @@ type (
 // home processor; see internal/numa. Build one with ButterflyCosts and
 // shape it with WithExtraDelay / WithTopology.
 type CostModel = numa.CostModel
+
+// Topology assigns hop distances to processor pairs. Set one on
+// Options.Topology to classify remote probes as near or cross-cluster in
+// the pool's stats (and to scale an active Delayer's busy-waits by hop
+// distance), and on HierarchicalVictimOrder to define its rings.
+type Topology = numa.Topology
+
+// UniformTopology is the flat switch network: every remote pair one hop.
+type UniformTopology = numa.Uniform
 
 // ClusterTopology groups processors into fixed-size clusters: remote
 // references inside a cluster are near (one hop), across clusters far.
