@@ -22,6 +22,7 @@ race:
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDequeScript -fuzztime=10s ./internal/segment
+	$(GO) test -run='^$$' -fuzz=FuzzEngineSearch -fuzztime=10s ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzBoardScript -fuzztime=10s ./internal/ttt
 
 bench-smoke:
@@ -73,7 +74,7 @@ docs-check:
 	test -f docs/EXPERIMENTS.md
 	grep -q "docs/ARCHITECTURE.md" README.md
 	grep -q "docs/EXPERIMENTS.md" README.md
-	$(GO) run ./internal/tools/doclint ./internal/policy ./internal/numa
+	$(GO) run ./internal/tools/doclint ./internal/policy ./internal/numa ./internal/engine
 	$(GO) build -tags docsexamples ./internal/docexamples
 
 ci: build vet test race fuzz-smoke bench-smoke cover policy-smoke docs-check bench-check

@@ -148,6 +148,31 @@ func BenchmarkApp(b *testing.B) {
 
 // --- Real concurrent pool microbenchmarks (wall clock) ---
 
+// BenchmarkGetHotPath measures the allocation-free local fast path — the
+// operation pair the 0 allocs/op contract covers (TestHotPathAllocFree
+// enforces it; this benchmark reports the number under the regression
+// gate alongside the time). Stats and topology accounting are on, the
+// costliest configuration the contract still holds for.
+func BenchmarkGetHotPath(b *testing.B) {
+	p, err := pools.New[int](pools.Options{
+		Segments: 8, CollectStats: true, Topology: pools.ClusterTopology{Size: 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := p.Handle(0)
+	h.Put(0)
+	h.Get()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Put(i)
+		if _, ok := h.Get(); !ok {
+			b.Fatal("local Get missed")
+		}
+	}
+}
+
 // BenchmarkPoolLocalPutGet measures the uncontended local fast path.
 func BenchmarkPoolLocalPutGet(b *testing.B) {
 	for _, kind := range search.Kinds() {

@@ -147,11 +147,14 @@ var experiments = []experiment{
 		}
 		return out
 	}},
-	{"hier", "hierarchical cluster-first stealing vs flat and locality orders (cross-cluster probe fraction)", func(cfg harness.Config, _ int, csv bool) string {
+	{"hier", "hierarchical cluster-first stealing vs flat and locality orders (cross-cluster probe fraction; two-level and three-level topologies)", func(cfg harness.Config, _ int, csv bool) string {
 		rows := harness.HierSweep(cfg, harness.LocalityScales())
 		out := harness.RenderHier(rows)
+		deep := harness.HierDeepSweep(cfg, harness.LocalityScales())
+		out += "\n" + harness.RenderHierDeep(deep)
 		if csv {
 			out += "\n" + harness.HierCSV(rows)
+			out += "\n" + harness.HierCSV(deep)
 		}
 		return out
 	}},

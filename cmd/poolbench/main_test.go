@@ -100,7 +100,13 @@ func TestRunHierExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"## hier", "cross-cluster probe fraction", "vs best flat", "order,delay_us,cross_probe_frac"} {
+	for _, want := range []string{
+		"## hier", "cross-cluster probe fraction", "vs best flat",
+		"order,topology,delay_us,cross_probe_frac",
+		// Both topologies appear: the two-level cluster sweep and the
+		// three-level nested sweep, distinguishable by the CSV column.
+		",clusters-4,", ",nested-2-8,",
+	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("hier output missing %q", want)
 		}

@@ -1,0 +1,104 @@
+package pools_test
+
+// Hot-path allocation guarantees: the local Put/Get fast path — and the
+// steal path once its reusable buffers are warm — performs zero heap
+// allocations per operation, across the configurations that decorate the
+// hot path (stats + topology accounting, Director placements, keyed
+// buckets). BenchmarkGetHotPath in bench_test.go reports the same paths
+// under the benchmark gate; these tests make the 0 allocs/op contract a
+// hard failure instead of a number to eyeball.
+
+import (
+	"testing"
+
+	"pools"
+)
+
+// requireZeroAllocs runs f through testing.AllocsPerRun and fails on any
+// per-call allocation.
+func requireZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	f() // warm caches and reusable buffers outside the measurement
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s: %.2f allocs/op, want 0", name, avg)
+	}
+}
+
+func TestHotPathAllocFree(t *testing.T) {
+	// The default pool: plain local Put/Get.
+	p, err := pools.New[int](pools.Options{Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Handle(0)
+	requireZeroAllocs(t, "core local Put/Get", func() {
+		h.Put(1)
+		if _, ok := h.Get(); !ok {
+			t.Fatal("local Get missed")
+		}
+	})
+
+	// Stats and topology accounting on: the probe classification uses the
+	// precomputed masks, not per-probe interface calls.
+	ps, err := pools.New[int](pools.Options{
+		Segments: 4, CollectStats: true, Topology: pools.ClusterTopology{Size: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := ps.Handle(0)
+	requireZeroAllocs(t, "core stats+topology Put/Get", func() {
+		hs.Put(1)
+		hs.Get()
+	})
+
+	// A Director placement probes sizes through the engine's cached
+	// closure: no per-Put closure allocation.
+	pd, err := pools.New[int](pools.Options{
+		Segments: 4, Policies: pools.PolicySet{Place: pools.EmptiestPlacement{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := pd.Handle(0)
+	requireZeroAllocs(t, "core director Put/Get", func() {
+		hd.Put(1)
+		for {
+			if _, ok := hd.Get(); !ok {
+				break
+			}
+		}
+	})
+
+	// The steal path: the victim's share is reserved into the handle's
+	// reusable buffer, so a warm Get-with-steal does not allocate either.
+	pv, err := pools.New[int](pools.Options{Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, thief := pv.Handle(1), pv.Handle(0)
+	for i := 0; i < 1<<14; i++ {
+		victim.Put(i)
+	}
+	thief.Get() // warm the steal buffer
+	requireZeroAllocs(t, "core steal Get", func() {
+		if _, ok := thief.Get(); !ok {
+			t.Fatal("steal Get missed")
+		}
+	})
+
+	// Keyed local Put/Get, including the drain-to-empty cycle: the spare
+	// bucket cache keeps a hot class from allocating a fresh bucket every
+	// time it empties and refills.
+	kp, err := pools.NewKeyed[string, int](pools.KeyedOptions{Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kh := kp.Handle(0)
+	requireZeroAllocs(t, "keyed local Put/Get", func() {
+		kh.Put("hot", 1)
+		if _, ok := kh.Get("hot"); !ok {
+			t.Fatal("keyed Get missed")
+		}
+	})
+}

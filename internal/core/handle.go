@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"pools/internal/engine"
 	"pools/internal/metrics"
 	"pools/internal/numa"
 	"pools/internal/policy"
@@ -15,13 +16,17 @@ import (
 //
 // A Handle may be used by only one goroutine at a time. Distinct handles
 // may be used concurrently; that is the entire point of the structure.
+//
+// The search-steal protocol itself lives in internal/engine; the handle
+// supplies the substrate (mutex-protected segments, directed-add
+// mailboxes, wall-clock delays) and keeps the per-operation accounting.
 type Handle[T any] struct {
 	pool       *Pool[T]
 	id         int
-	ctl        policy.Controller  // this handle's controller (its own instance under per-handle sets)
-	steal      policy.StealAmount // this handle's steal amount (the spawned controller under per-handle sets)
-	searcher   search.Searcher
-	world      world[T]
+	eng        *engine.Engine
+	steal      policy.StealAmount // resolved steal amount, cached off the engine for the probe loop
+	sub        substrate[T]
+	stealBuf   []T // reused steal-transfer buffer (reserve under the victim's lock, deposit outside)
 	stats      metrics.PoolStats
 	registered bool
 	closed     bool
@@ -33,11 +38,7 @@ func (h *Handle[T]) ID() int { return h.id }
 // observe feeds one remove outcome to this handle's controller, if any.
 // Under a per-handle policy set each handle tunes from its own feedback
 // stream; under a pool-wide set every handle feeds the shared controller.
-func (h *Handle[T]) observe(fb policy.Feedback) {
-	if h.ctl != nil {
-		h.ctl.Observe(fb)
-	}
-}
+func (h *Handle[T]) observe(fb policy.Feedback) { h.eng.Observe(fb) }
 
 // BatchSize returns the batch size this handle's controller recommends
 // for a workload configured at current, or current itself without a
@@ -45,16 +46,11 @@ func (h *Handle[T]) observe(fb policy.Feedback) {
 // mirroring the simulator's burst loop, so online batch tuning behaves
 // identically on both substrates — and, under per-handle sets, every
 // handle recommends from its own observed workload.
-func (h *Handle[T]) BatchSize(current int) int {
-	if h.ctl == nil {
-		return current
-	}
-	return h.ctl.BatchSize(current)
-}
+func (h *Handle[T]) BatchSize(current int) int { return h.eng.BatchSize(current) }
 
 // Controller returns this handle's controller (nil when the policy set
 // has none), for observability and controller-trajectory traces.
-func (h *Handle[T]) Controller() policy.Controller { return h.ctl }
+func (h *Handle[T]) Controller() policy.Controller { return h.eng.Controller() }
 
 // Register marks this handle as a participant in the pool's operations.
 // Participation is what the abort rule counts: a Get aborts when every
@@ -119,41 +115,6 @@ func sinceMicros(start time.Time) int64 {
 	return time.Since(start).Microseconds()
 }
 
-// noteProbe classifies one remote segment probe against the pool's hop
-// topology for the cross-cluster accounting (no-op for local probes or
-// when stats are off).
-func (h *Handle[T]) noteProbe(s int) {
-	if s == h.id || !h.pool.opts.CollectStats {
-		return
-	}
-	t := h.pool.topo
-	h.stats.RecordProbe(t != nil && t.Distance(h.id, s) > 1)
-}
-
-// directTarget consults the Director placement (when the pool has one)
-// for where an add of n elements should land, charging one probe delay
-// per examined segment — probing is not free, exactly as in the
-// simulator. Out-of-range answers keep the add local.
-func (h *Handle[T]) directTarget(n int) int {
-	p := h.pool
-	if p.dir == nil {
-		return h.id
-	}
-	t := p.dir.Direct(h.id, len(p.segs), n, func(s int) int {
-		p.opts.Delay.Delay(numa.AccessProbe, h.id, s)
-		h.noteProbe(s)
-		seg := &p.segs[s]
-		seg.mu.Lock()
-		l := seg.dq.Len()
-		seg.mu.Unlock()
-		return l
-	})
-	if t < 0 || t >= len(p.segs) {
-		return h.id
-	}
-	return t
-}
-
 // Put adds an element to the pool: into a hungry searcher's mailbox when
 // the Placement policy directs it there, into the segment a Director
 // placement (e.g. policy.GiftToEmptiest) selects, otherwise into the
@@ -171,7 +132,7 @@ func (h *Handle[T]) Put(v T) {
 		}
 		return
 	}
-	target := h.directTarget(1)
+	target := h.eng.DirectTarget(1)
 	p.opts.Delay.Delay(numa.AccessAdd, h.id, target)
 	s := &p.segs[target]
 	s.mu.Lock()
@@ -213,7 +174,7 @@ func (h *Handle[T]) PutAll(items []T) {
 			return
 		}
 	}
-	target := h.directTarget(len(items) - gifted)
+	target := h.eng.DirectTarget(len(items) - gifted)
 	p.opts.Delay.Delay(numa.AccessAdd, h.id, target)
 	s := &p.segs[target]
 	s.mu.Lock()
@@ -304,9 +265,10 @@ func (h *Handle[T]) Get() (T, bool) {
 		return v, true
 	}
 
-	// Slow path: search and steal.
+	// Slow path: the engine's search-steal protocol, then the gift races.
 	searchStart := h.now()
-	res, g, gotGift, stole := h.searchSteal(1)
+	res := h.eng.Search(1)
+	g, gotGift, stole := h.resolveSearch(res)
 	if !stole {
 		if gotGift {
 			v = g.first()
@@ -324,7 +286,7 @@ func (h *Handle[T]) Get() (T, bool) {
 		h.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: sinceMicros(start)})
 		return zero, false
 	}
-	v = h.world.takeReserved()
+	v = h.sub.takeReserved()
 	if p.opts.CollectStats {
 		h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, res.Got)
 	}
@@ -347,32 +309,16 @@ func (h *Handle[T]) parkLocal(items []T) {
 	p.version.Add(1)
 }
 
-// searchSteal is the slow path shared by Get and GetN: enter the search,
-// maintaining the lookers count and (with directed adds) the hunger flag,
-// and resolve the gift races. want is the requesting operation's
-// appetite, which the StealAmount policy may consult when sizing the
-// transfer. TrySteal reserves one element under the segment lock, so a
-// successful search cannot lose its element to a competing thief; on
-// stole=true the remaining res.Got-1 stolen elements sit in the local
-// segment with the reserved one in h.world — and any gift that raced
-// with the successful steal has been parked in the local segment too,
-// where it stays visible to every searcher instead of stranded in the
-// mailbox until this handle's next slow path. On stole=false, gotGift
-// reports that a directed add landed in the mailbox instead (a gift may
-// race with a genuine abort); otherwise the operation aborted
-// empty-handed.
-func (h *Handle[T]) searchSteal(want int) (res search.Result, g gift[T], gotGift, stole bool) {
+// resolveSearch settles the gift races after one engine search. A
+// successful search (res.Got > 0) already moved the stolen elements into
+// the local segment with one reserved in the substrate; any gift that
+// raced with it is parked in the local segment, where it stays visible to
+// every searcher instead of stranded in the mailbox until this handle's
+// next slow path. On stole=false, gotGift reports that a directed add
+// landed in the mailbox instead (a gift may race with a genuine abort);
+// otherwise the operation aborted empty-handed.
+func (h *Handle[T]) resolveSearch(res search.Result) (g gift[T], gotGift, stole bool) {
 	p := h.pool
-	h.world.beginSearch(want)
-	p.lookers.Add(1)
-	if p.boxes != nil {
-		p.boxes[h.id].hungry.Store(true)
-	}
-	res = h.searcher.Search(&h.world)
-	if p.boxes != nil {
-		p.boxes[h.id].hungry.Store(false)
-	}
-	p.lookers.Add(-1)
 	if p.boxes != nil {
 		g, gotGift = p.boxes[h.id].tryTake()
 	}
@@ -383,9 +329,9 @@ func (h *Handle[T]) searchSteal(want int) (res search.Result, g gift[T], gotGift
 				h.stats.DirectedReceives += int64(g.count())
 			}
 		}
-		return res, gift[T]{}, false, true
+		return gift[T]{}, false, true
 	}
-	return res, g, gotGift, false
+	return g, gotGift, false
 }
 
 // GetN removes up to max elements from the pool in one operation. The
@@ -423,7 +369,8 @@ func (h *Handle[T]) GetN(max int) []T {
 
 	// Slow path: search and steal, exactly as Get.
 	searchStart := h.now()
-	res, g, gotGift, stole := h.searchSteal(max)
+	res := h.eng.Search(max)
+	g, gotGift, stole := h.resolveSearch(res)
 	if !stole {
 		if gotGift {
 			if g.batch == nil {
@@ -450,7 +397,7 @@ func (h *Handle[T]) GetN(max int) []T {
 	// The steal moved res.Got elements into the local segment and reserved
 	// one; collect the reserved element plus up to max-1 more in one lock.
 	out = make([]T, 1, max)
-	out[0] = h.world.takeReserved()
+	out[0] = h.sub.takeReserved()
 	if max > 1 {
 		s.mu.Lock()
 		out = append(out, s.dq.RemoveN(max-1)...)
@@ -463,54 +410,19 @@ func (h *Handle[T]) GetN(max int) []T {
 	return out
 }
 
-// world adapts a Handle to search.World / search.TreeWorld.
-type world[T any] struct {
+// substrate adapts a Handle to engine.Substrate / engine.TreeSubstrate:
+// the typed reserve/transfer half of the steal protocol, over
+// mutex-protected segments with wall-clock delay injection. Coverage
+// tracking, probe classification, and the abort rule live in the engine.
+type substrate[T any] struct {
 	h        *Handle[T]
 	reserved T
 	has      bool
-	want     int // the in-flight operation's appetite (Get: 1, GetN: max)
-
-	// Coverage tracking for the abort rules: which segments have been
-	// probed and found empty since the last observed pool mutation.
-	seenVersion uint64
-	probed      []bool
-	probedCount int
 }
 
-// beginSearch arms the coverage tracker for a new search on behalf of an
-// operation wanting up to want elements.
-func (w *world[T]) beginSearch(want int) {
-	w.want = want
-	w.seenVersion = w.h.pool.version.Load()
-	if w.probed == nil {
-		w.probed = make([]bool, len(w.h.pool.segs))
-	}
-	w.resetCoverage()
-}
+var _ engine.TreeSubstrate = (*substrate[int])(nil)
 
-// resetCoverage forgets which segments were seen empty.
-func (w *world[T]) resetCoverage() {
-	for i := range w.probed {
-		w.probed[i] = false
-	}
-	w.probedCount = 0
-}
-
-// sawEmpty records a fruitless probe of segment s.
-func (w *world[T]) sawEmpty(s int) {
-	if !w.probed[s] {
-		w.probed[s] = true
-		w.probedCount++
-	}
-}
-
-// covered reports whether every segment has been probed fruitlessly since
-// the last observed mutation.
-func (w *world[T]) covered() bool { return w.probedCount == len(w.probed) }
-
-var _ search.TreeWorld = (*world[int])(nil)
-
-func (w *world[T]) takeReserved() T {
+func (w *substrate[T]) takeReserved() T {
 	var zero T
 	v := w.reserved
 	w.reserved = zero
@@ -518,67 +430,48 @@ func (w *world[T]) takeReserved() T {
 	return v
 }
 
-// Segments implements search.World.
-func (w *world[T]) Segments() int { return len(w.h.pool.segs) }
+// Enter implements engine.Substrate: join the lookers count (the livelock
+// rule's evidence) and raise the hungry flag for directed adds.
+func (w *substrate[T]) Enter(int) {
+	p := w.h.pool
+	p.lookers.Add(1)
+	if p.boxes != nil {
+		p.boxes[w.h.id].hungry.Store(true)
+	}
+}
 
-// Self implements search.World.
-func (w *world[T]) Self() int { return w.h.id }
+// Exit implements engine.Substrate.
+func (w *substrate[T]) Exit() {
+	p := w.h.pool
+	if p.boxes != nil {
+		p.boxes[w.h.id].hungry.Store(false)
+	}
+	p.lookers.Add(-1)
+}
 
-// Aborted implements search.World. A search aborts when the pool or
-// handle is closed, or once it has *covered* the pool — probed every
-// segment and found it empty with no mutation observed in between — and
-// either every open handle is simultaneously searching (the paper's
-// livelock rule) or nothing has changed since the search began (the
-// sequential-liveness rule for a single goroutine driving several
-// handles). Coverage makes the decision exact: a Get never returns false
-// while an element it could have taken sits unprobed, and batch gifts
-// banked in a still-searching process's mailbox also hold off the
-// staleness abort until they surface.
-func (w *world[T]) Aborted() bool {
+// Stopped implements engine.Substrate: the pool or handle closed, or a
+// directed-add gift landed in the mailbox — Get's slow path collects it.
+func (w *substrate[T]) Stopped() bool {
 	p := w.h.pool
 	if p.closed.Load() || w.h.closed {
 		return true
 	}
-	// A directed-add gift ends the search; Get's slow path collects it.
-	if p.boxes != nil && len(p.boxes[w.h.id].slot) > 0 {
-		return true
-	}
-	if !w.covered() {
-		return false
-	}
-	if p.giftsInFlight() {
-		// A batch gift is banked in a still-searching process's mailbox:
-		// the pool is not empty, and the elements surface (with a version
-		// bump for any surplus) as soon as that search ends. Keep looking
-		// rather than certifying emptiness on invisible elements. This
-		// must precede the all-searching rule — the gift's owner is one
-		// of the searchers, so lookers >= open exactly while a gift is in
-		// flight — and cannot livelock: the owner's own-slot check above
-		// ends its search, clearing its hunger flag either way.
-		return false
-	}
-	if p.lookers.Load() >= p.open.Load() {
-		return true
-	}
-	if v := p.version.Load(); v != w.seenVersion {
-		// Something changed while we searched: re-arm and continue.
-		w.seenVersion = v
-		w.resetCoverage()
-		return false
-	}
-	return true
+	return p.boxes != nil && len(p.boxes[w.h.id].slot) > 0
 }
 
-// TrySteal implements search.World. Probing the local segment reports its
-// size and reserves one element if available. Probing a remote segment
-// locks victim and self in index order, transfers the StealAmount
-// policy's share, and reserves one of the stolen elements.
-func (w *world[T]) TrySteal(sIdx int) int {
+// Probe implements engine.Substrate. Probing the local segment reports
+// its size and reserves one element if available. Probing a remote
+// segment reserves the StealAmount policy's share into the handle's
+// private steal buffer under the victim's lock alone, then deposits the
+// surplus into the local segment after unlocking — the lock-hold
+// shortening that keeps a steal from serializing the victim against the
+// thief's own segment. The buffer is reused across calls, so the steal
+// path performs no per-call allocation once warm.
+func (w *substrate[T]) Probe(sIdx, want int) int {
 	h := w.h
 	p := h.pool
 	self := h.id
 	p.opts.Delay.Delay(numa.AccessProbe, self, sIdx)
-	h.noteProbe(sIdx)
 
 	if sIdx == self {
 		s := &p.segs[self]
@@ -589,53 +482,72 @@ func (w *world[T]) TrySteal(sIdx int) int {
 			w.has = true
 		}
 		s.mu.Unlock()
-		if n == 0 {
-			w.sawEmpty(self)
-		} else {
-			w.resetCoverage()
-		}
 		return n
 	}
 
-	a, b := sIdx, self
-	if a > b {
-		a, b = b, a
-	}
-	first, second := &p.segs[a], &p.segs[b]
-	first.mu.Lock()
-	second.mu.Lock()
-	src, dst := &p.segs[sIdx], &p.segs[self]
+	src := &p.segs[sIdx]
+	src.mu.Lock()
 	n := src.dq.Len()
 	if n == 0 {
-		second.mu.Unlock()
-		first.mu.Unlock()
-		w.sawEmpty(sIdx)
+		src.mu.Unlock()
 		return 0
 	}
 	p.opts.Delay.Delay(numa.AccessSplit, self, sIdx)
-	moved := src.dq.TakeInto(&dst.dq, h.steal.Amount(n, w.want))
-	w.reserved, _ = dst.dq.Remove()
+	buf := src.dq.TakeOut(h.stealBuf[:0], h.steal.Amount(n, want))
+	// Between the victim unlock and the local deposit the surplus lives
+	// only in the handle's buffer — in no segment, invisible to probes.
+	// The moving count keeps the Coverage rule from certifying emptiness
+	// over it; raised before the unlock so there is no gap, dropped only
+	// after the deposit's version bump so a searcher that reads zero is
+	// guaranteed to see the bump and re-arm.
+	p.moving.Add(1)
+	src.mu.Unlock()
+	moved := len(buf)
+	w.reserved = buf[moved-1]
 	w.has = true
-	second.mu.Unlock()
-	first.mu.Unlock()
-	w.resetCoverage()
+	if moved > 1 {
+		dst := &p.segs[self]
+		dst.mu.Lock()
+		dst.dq.AddAll(buf[:moved-1])
+		dst.mu.Unlock()
+	}
+	clear(buf) // release element references for GC; the buffer itself is kept
+	h.stealBuf = buf[:0]
 	p.version.Add(1) // elements relocated: other searchers must re-scan
+	p.moving.Add(-1)
 	return moved
 }
 
-// NumLeaves implements search.TreeWorld.
-func (w *world[T]) NumLeaves() int { return w.h.pool.leaves }
+// NumLeaves implements engine.TreeSubstrate.
+func (w *substrate[T]) NumLeaves() int { return w.h.pool.leaves }
 
-// RoundOf implements search.TreeWorld.
-func (w *world[T]) RoundOf(n int) uint64 {
+// RoundOf implements engine.TreeSubstrate.
+func (w *substrate[T]) RoundOf(n int) uint64 {
 	p := w.h.pool
 	p.opts.Delay.Delay(numa.AccessNode, w.h.id, -1)
 	return p.roundOf(n)
 }
 
-// MaxRound implements search.TreeWorld.
-func (w *world[T]) MaxRound(n int, r uint64) {
+// MaxRound implements engine.TreeSubstrate.
+func (w *substrate[T]) MaxRound(n int, r uint64) {
 	p := w.h.pool
 	p.opts.Delay.Delay(numa.AccessNode, w.h.id, -1)
 	p.maxRound(n, r)
 }
+
+// coverageState exposes the pool-wide evidence engine.Coverage consults.
+type coverageState[T any] struct{ p *Pool[T] }
+
+var _ engine.CoverageState = coverageState[int]{}
+
+// Version implements engine.CoverageState.
+func (c coverageState[T]) Version() uint64 { return c.p.version.Load() }
+
+// AllSearching implements engine.CoverageState.
+func (c coverageState[T]) AllSearching() bool { return c.p.lookers.Load() >= c.p.open.Load() }
+
+// GiftsInFlight implements engine.CoverageState.
+func (c coverageState[T]) GiftsInFlight() bool { return c.p.giftsInFlight() }
+
+// TransfersInFlight implements engine.CoverageState.
+func (c coverageState[T]) TransfersInFlight() bool { return c.p.moving.Load() > 0 }

@@ -13,11 +13,21 @@ package core
 // at its next abort-check and completes its remove without stealing.
 // Mailboxes carry whole batches, so a PutAll can hand a starving
 // consumer an entire reserve (policy.GiftAll), one element per searcher
-// (policy.GiftOne), or any policy-chosen split; deliveries scan the ring
-// from just past the giver's own segment, so gifts spread around the ring
-// instead of piling onto one consumer.
+// (policy.GiftOne), or any policy-chosen split; deliveries scan hungry
+// searchers in hop-cost order — nearest ring first under the pool's
+// topology, plain ring order from just past the giver's segment without
+// one — so gifts spread around the near ring before a cross-cluster
+// delivery is even considered. A gift is a remote write to the
+// receiver's mailbox, so on a loosely-coupled machine a cross-cluster
+// gift costs Far hops exactly like a cross-cluster steal; ranking makes
+// it the last resort rather than a ring-position accident.
 
-import "sync/atomic"
+import (
+	"sort"
+	"sync/atomic"
+
+	"pools/internal/numa"
+)
 
 // gift is a mailbox delivery: either a single element (batch nil — the
 // Put fast path, which must not heap-allocate) or a batch slice owned by
@@ -102,23 +112,64 @@ func (m *mailbox[T]) tryTake() (gift[T], bool) {
 	}
 }
 
+// giftOrders precomputes every giver's mailbox delivery order: all other
+// segments ranked by hop distance under the topology (cross-cluster
+// deliveries last), with ring order from the giver's successor as the
+// tiebreak so equal-distance gifts still spread around the ring instead
+// of piling onto one consumer. Computed once at pool construction
+// (directed placements on pools with a topology only — the topology-less
+// ring scan needs no table), so deliveries walk a precomputed slice
+// instead of consulting the topology per probe.
+func giftOrders(n int, topo numa.Topology) [][]int {
+	flat := make([]int, 0, n*(n-1))
+	orders := make([][]int, n)
+	for g := 0; g < n; g++ {
+		start := len(flat)
+		for off := 1; off < n; off++ {
+			flat = append(flat, (g+off)%n)
+		}
+		row := flat[start:]
+		g := g
+		sort.SliceStable(row, func(i, j int) bool {
+			return topo.Distance(g, row[i]) < topo.Distance(g, row[j])
+		})
+		orders[g] = row
+	}
+	return orders
+}
+
 // giftOut offers items to hungry searchers per the pool's Placement
 // policy: the policy picks how many elements to gift given the batch size
 // and the number of currently-hungry processes, and the quota is split
-// into near-even chunks delivered around the ring from the giver's
-// successor. It returns the number of elements delivered; the caller adds
-// the remainder to its local segment. Single-element chunks travel by
-// value (no allocation — the Put fast path); larger chunks are copied,
-// so the caller's backing array is never retained.
+// into near-even chunks delivered in the giver's hop-ranked order
+// (giftOrders) — hungry searchers in the giver's own cluster are fed
+// before a gift crosses a boundary. It returns the number of elements
+// delivered; the caller adds the remainder to its local segment.
+// Single-element chunks travel by value (no allocation — the Put fast
+// path); larger chunks are copied, so the caller's backing array is never
+// retained.
 func (p *Pool[T]) giftOut(giver int, items []T) int {
 	n := len(p.boxes)
+	// Delivery order: the hop-ranked table when the pool has a topology,
+	// otherwise the ring from the giver's successor, computed with
+	// modular arithmetic (no table needed for the uniform case).
+	var order []int
+	if p.giftOrder != nil {
+		order = p.giftOrder[giver]
+	}
+	target := func(j int) int {
+		if order != nil {
+			return order[j]
+		}
+		return (giver + 1 + j) % n
+	}
 	// Single-element fast path (Put): the split decision is binary —
 	// gift or keep — so the first hungry box settles it without first
 	// counting every hungry searcher on the ring, and delivery needs no
 	// chunking or copying.
 	if len(items) == 1 {
-		for off := 1; off <= n; off++ {
-			b := &p.boxes[(giver+off)%n]
+		for j := 0; j < n-1; j++ {
+			b := &p.boxes[target(j)]
 			if !b.hungry.Load() {
 				continue
 			}
@@ -149,8 +200,8 @@ func (p *Pool[T]) giftOut(giver int, items []T) int {
 	}
 	chunk := (quota + hungry - 1) / hungry
 	delivered := 0
-	for off := 1; off <= n && delivered < quota; off++ {
-		b := &p.boxes[(giver+off)%n]
+	for j := 0; j < n-1 && delivered < quota; j++ {
+		b := &p.boxes[target(j)]
 		if !b.hungry.Load() {
 			continue // don't build a chunk for a box that will refuse it
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"pools/internal/engine"
 	"pools/internal/policy"
 	"pools/internal/search"
 )
@@ -131,19 +132,21 @@ func TestGiftsInFlightHoldsOffAbort(t *testing.T) {
 	}
 
 	// Handle 0 has covered the pool (both segments probed empty) with no
-	// version change: without gifts the staleness rule would abort.
-	w := &p.Handle(0).world
-	w.beginSearch(1)
-	w.sawEmpty(0)
-	w.sawEmpty(1)
-	if w.Aborted() {
+	// version change: without gifts the staleness rule would abort. The
+	// rule is the same engine.Coverage instance the handle's searches
+	// consult, built over the pool's coverage evidence.
+	cov := engine.NewCoverage(2, coverageState[int]{p})
+	cov.Begin(1)
+	cov.SawEmpty(0)
+	cov.SawEmpty(1)
+	if cov.Aborted() {
 		t.Fatal("search aborted while a hungry searcher held a banked batch gift")
 	}
 	// The gift guard must also outrank the all-searching livelock rule:
 	// the gift's owner is itself one of the searchers, so lookers == open
 	// holds exactly while the gift is in flight.
 	p.lookers.Add(2)
-	if w.Aborted() {
+	if cov.Aborted() {
 		t.Fatal("all-searching rule certified emptiness over an in-flight batch gift")
 	}
 	p.lookers.Add(-2)
@@ -151,7 +154,7 @@ func TestGiftsInFlightHoldsOffAbort(t *testing.T) {
 	// longer blocks: that is the paper's accepted give/abort race, and it
 	// surfaces on the owner's next remove.
 	p.boxes[1].hungry.Store(false)
-	if !w.Aborted() {
+	if !cov.Aborted() {
 		t.Fatal("covered search failed to abort with no gift in flight")
 	}
 }

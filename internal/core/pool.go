@@ -37,6 +37,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pools/internal/engine"
 	"pools/internal/metrics"
 	"pools/internal/numa"
 	"pools/internal/policy"
@@ -153,18 +154,19 @@ type treeNode struct {
 // Pool is a concurrent pool of T. Create with New; the zero value is not
 // usable.
 type Pool[T any] struct {
-	opts    Options
-	pol     policy.Set      // resolved policies (no nil slots)
-	dir     policy.Director // size-aware placement, if Policies.Place is one
-	topo    numa.Topology   // resolved hop distances (nil = uniform)
-	segs    []seg[T]
-	nodes   []treeNode   // heap-indexed tree round counters (tree search only)
-	boxes   []mailbox[T] // directed-add mailboxes (directed placement only)
-	leaves  int
-	handles []*Handle[T]
+	opts      Options
+	pol       policy.Set    // resolved policies (no nil slots)
+	topo      numa.Topology // resolved hop distances (nil = uniform)
+	segs      []seg[T]
+	nodes     []treeNode   // heap-indexed tree round counters (tree search only)
+	boxes     []mailbox[T] // directed-add mailboxes (directed placement only)
+	giftOrder [][]int      // per-giver mailbox delivery order (hop-cost ranked under a topology)
+	leaves    int
+	handles   []*Handle[T]
 
 	lookers atomic.Int32  // registered handles currently inside a search
 	open    atomic.Int32  // handles registered and not yet closed
+	moving  atomic.Int32  // steals mid-transfer (victim unlocked, surplus not yet deposited)
 	version atomic.Uint64 // bumped on every mutation that can feed a search
 	closed  atomic.Bool
 }
@@ -214,9 +216,6 @@ func New[T any](opts Options) (*Pool[T], error) {
 		segs:   make([]seg[T], opts.Segments),
 		leaves: search.NumLeavesFor(opts.Segments),
 	}
-	if d, ok := pol.Place.(policy.Director); ok {
-		p.dir = d
-	}
 	if opts.Search == search.Tree || policy.KindOf(pol.Order) == search.Tree {
 		p.nodes = make([]treeNode, 2*p.leaves)
 	}
@@ -225,20 +224,53 @@ func New[T any](opts Options) (*Pool[T], error) {
 		for i := range p.boxes {
 			p.boxes[i].init()
 		}
+		if topo != nil {
+			// Without a topology the delivery order is the plain ring
+			// scan, which giftOut computes with modular arithmetic for
+			// free; the O(n²) precompute pays off only when there are
+			// hop distances to rank by.
+			p.giftOrder = giftOrders(opts.Segments, topo)
+		}
 	}
 	p.handles = make([]*Handle[T], opts.Segments)
 	for i := range p.handles {
-		ctl, steal := pol.ForHandle(i)
-		p.handles[i] = &Handle[T]{
-			pool:     p,
-			id:       i,
-			ctl:      ctl,
-			steal:    steal,
-			searcher: policy.BuildSearcher(pol.Order, i, opts.Segments, rng.SubSeed(opts.Seed, i), ctl),
+		h := &Handle[T]{pool: p, id: i}
+		h.sub.h = h
+		var stats *metrics.PoolStats
+		if opts.CollectStats {
+			stats = &h.stats
 		}
-		p.handles[i].world.h = p.handles[i]
+		h.eng = engine.New(engine.Config{
+			Self:      i,
+			Segments:  opts.Segments,
+			Policies:  pol,
+			Seed:      rng.SubSeed(opts.Seed, i),
+			Topology:  topo,
+			Stats:     stats,
+			SizeProbe: h.sizeProbe(),
+		}, &h.sub, engine.NewCoverage(opts.Segments, coverageState[T]{p}))
+		h.steal = h.eng.StealAmount()
+		p.handles[i] = h
 	}
 	return p, nil
+}
+
+// sizeProbe builds the handle's Director size-probe closure once, so the
+// add hot path under a size-aware placement does not allocate a closure
+// per Put. Each call charges one probe delay and counts in the
+// cross-probe accounting — probing is not free, exactly as in the
+// simulator.
+func (h *Handle[T]) sizeProbe() func(s int) int {
+	return func(s int) int {
+		p := h.pool
+		p.opts.Delay.Delay(numa.AccessProbe, h.id, s)
+		h.eng.NoteProbe(s)
+		seg := &p.segs[s]
+		seg.mu.Lock()
+		l := seg.dq.Len()
+		seg.mu.Unlock()
+		return l
+	}
 }
 
 // BatchSize returns the batch size the pool-wide controller recommends

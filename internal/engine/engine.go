@@ -1,0 +1,286 @@
+// Package engine implements the paper's parameterized search-and-steal
+// protocol exactly once, shared by every execution substrate in the repo.
+//
+// The paper's contribution is a single protocol — search remote segments
+// in a policy-chosen order, steal a policy-chosen share of the first
+// non-empty one, feed the outcome back to an online controller, and abort
+// when emptiness is certified — evaluated across substrates. Before this
+// package existed the repo implemented that loop three times: the real
+// pool (internal/core), the virtual-time simulator (internal/sim), and
+// the keyed pool's ring sweep (internal/keyed). Every policy feature paid
+// a triple-wiring tax. Now each substrate implements the small Substrate
+// interface (probe one segment, reserve/transfer elements, charge its own
+// costs) and an Engine per handle owns everything the substrates used to
+// duplicate:
+//
+//   - policy resolution: the handle's Controller and StealAmount via
+//     policy.Set.ForHandle, and its search strategy via
+//     policy.BuildSearcher, so ControlAware orders (HierarchicalOrder)
+//     receive the very controller their escalation threshold tunes from;
+//   - the search loop: bracket the searcher run with the substrate's
+//     Enter/Exit bookkeeping (lookers counters, hungry flags, shared-
+//     counter charges) and adapt the Substrate to search.World;
+//   - termination: the emptiness/livelock rules as pluggable Termination
+//     values — Coverage (core's exact version-stamped rule), Laps (the
+//     simulator's consecutive-fruitless-lap rule), and Bounded (the keyed
+//     pool's fixed sweep budget);
+//   - probe classification: every remote probe is recorded near or
+//     cross-cluster against a numa.Topology, with the hop distances
+//     precomputed per handle so the inner probe loop performs an array
+//     load instead of an interface call;
+//   - placement: Director placements (gift-to-emptiest and friends) are
+//     consulted through DirectTarget with a size-probe closure the
+//     substrate supplies once at construction, so the Put hot path does
+//     not allocate a closure per call;
+//   - feedback: Observe/BatchSize/Controller plumbing to the handle's
+//     controller.
+//
+// The Engine is deliberately not generic: elements never pass through it.
+// Reserving and transferring typed elements is the substrate's job
+// (behind Probe), which is what keeps each substrate's implementation to
+// roughly a hundred lines of locking or cost-charging glue.
+package engine
+
+import (
+	"pools/internal/metrics"
+	"pools/internal/numa"
+	"pools/internal/policy"
+	"pools/internal/search"
+)
+
+// Substrate is one handle's typed view of its pool: the operations the
+// search-steal protocol needs but whose implementation (mutexes, virtual
+// time, key buckets) differs per substrate. A Substrate is owned by one
+// handle and, like the handle, is not safe for concurrent use.
+type Substrate interface {
+	// Probe examines segment s on behalf of an operation wanting up to
+	// want elements (the StealAmount policy's appetite input). If s holds
+	// elements the substrate transfers the policy-chosen share toward the
+	// handle — reserving one element for the in-flight operation — and
+	// returns the number obtained; it returns 0 if s was empty. Probing
+	// the handle's own segment reports the local size and reserves one
+	// element when available. The substrate charges its own access costs
+	// (delays or virtual time) per probe.
+	Probe(s, want int) int
+	// Stopped reports substrate-specific hard stops, checked before every
+	// probe: pool or handle closed, an external drain, or a directed-add
+	// gift landing in the handle's mailbox.
+	Stopped() bool
+	// Enter brackets the start of one search: bump the pool's lookers
+	// count, raise the hungry flag, charge the shared-counter access —
+	// whatever the substrate's livelock accounting requires.
+	Enter(want int)
+	// Exit undoes Enter at the end of the same search.
+	Exit()
+}
+
+// TreeSubstrate extends Substrate with the superimposed round-counter
+// tree required by the paper's tree search algorithm. Substrates that can
+// run search.Tree implement it; the keyed pool does not.
+type TreeSubstrate interface {
+	Substrate
+	// NumLeaves returns the tree leaf count (search.NumLeavesFor).
+	NumLeaves() int
+	// RoundOf returns node n's round counter, charging a node access.
+	RoundOf(n int) uint64
+	// MaxRound raises node n's counter to r if greater.
+	MaxRound(n int, r uint64)
+}
+
+// Config assembles one handle's engine.
+type Config struct {
+	// Self is the handle's segment index; Segments the pool size.
+	Self, Segments int
+	// Policies is the pool's resolved policy set (WithDefaults applied).
+	// The engine resolves the handle's controller and steal amount from
+	// it (Set.ForHandle) and builds the search strategy from its Order.
+	Policies policy.Set
+	// Seed drives randomized search orders. Pools pass a per-handle
+	// sub-seed (rng.SubSeed), not the pool seed.
+	Seed uint64
+	// Topology classifies remote probes as near (hop distance 1) or
+	// cross-cluster (> 1). Nil means uniform: every remote probe is near.
+	Topology numa.Topology
+	// Stats receives the probe classification (RecordProbe). Nil disables
+	// probe accounting entirely — the real pool's CollectStats=false mode.
+	Stats *metrics.PoolStats
+	// Searcher, when non-nil, overrides the Policies.Order searcher. The
+	// keyed pool supplies its ranked or ring sweep here; everyone else
+	// leaves it nil and gets policy.BuildSearcher's result.
+	Searcher search.Searcher
+	// SizeProbe reports a segment's current size for Director placements,
+	// charging one probe access. Supplied once at construction so the add
+	// hot path does not allocate a closure per call. Required only when
+	// Policies.Place is a policy.Director.
+	SizeProbe func(s int) int
+}
+
+// Engine drives the search-steal protocol for one handle. Create with
+// New; like the handle it serves, an Engine may be used by only one
+// goroutine at a time.
+type Engine struct {
+	self     int
+	segments int
+	ctl      policy.Controller
+	steal    policy.StealAmount
+	searcher search.Searcher
+	dir      policy.Director
+	sizeFn   func(s int) int
+	stats    *metrics.PoolStats
+	cross    []bool // cross[s]: a probe of s leaves the cluster (nil = no topology)
+	w        world
+}
+
+// New builds a handle's engine: resolve the controller and steal amount
+// (per-handle sets spawn their instance here), build the search strategy
+// through the ControlAware path, precompute the hop-distance
+// classification, and bind the substrate and termination rule.
+func New(cfg Config, sub Substrate, term Termination) *Engine {
+	ctl, steal := cfg.Policies.ForHandle(cfg.Self)
+	srch := cfg.Searcher
+	if srch == nil {
+		srch = policy.BuildSearcher(cfg.Policies.Order, cfg.Self, cfg.Segments, cfg.Seed, ctl)
+	}
+	e := &Engine{
+		self:     cfg.Self,
+		segments: cfg.Segments,
+		ctl:      ctl,
+		steal:    steal,
+		searcher: srch,
+		sizeFn:   cfg.SizeProbe,
+		stats:    cfg.Stats,
+	}
+	if d, ok := cfg.Policies.Place.(policy.Director); ok {
+		e.dir = d
+	}
+	if cfg.Topology != nil {
+		e.cross = make([]bool, cfg.Segments)
+		for s := 0; s < cfg.Segments; s++ {
+			e.cross[s] = s != cfg.Self && cfg.Topology.Distance(cfg.Self, s) > 1
+		}
+	}
+	e.w = world{e: e, sub: sub, term: term}
+	if ts, ok := sub.(TreeSubstrate); ok {
+		e.w.tree = ts
+	}
+	return e
+}
+
+// Controller returns the handle's resolved controller (nil when the
+// policy set has none), for observability and trajectory traces.
+func (e *Engine) Controller() policy.Controller { return e.ctl }
+
+// Searcher returns the handle's search strategy, for observability and
+// tests.
+func (e *Engine) Searcher() search.Searcher { return e.searcher }
+
+// StealAmount returns the handle's resolved steal amount — the spawned
+// per-handle instance under policy.PerHandle sets.
+func (e *Engine) StealAmount() policy.StealAmount { return e.steal }
+
+// Observe feeds one remove outcome to the handle's controller, if any.
+func (e *Engine) Observe(fb policy.Feedback) {
+	if e.ctl != nil {
+		e.ctl.Observe(fb)
+	}
+}
+
+// BatchSize returns the controller's recommended batch size for a
+// workload configured at current, or current without a controller.
+func (e *Engine) BatchSize(current int) int {
+	if e.ctl == nil {
+		return current
+	}
+	return e.ctl.BatchSize(current)
+}
+
+// NoteProbe classifies one segment probe against the precomputed hop
+// distances: local probes and disabled stats are no-ops; remote probes
+// count as near or cross-cluster. Substrates call it for Director
+// placement sweeps; search probes are classified by the engine itself.
+func (e *Engine) NoteProbe(s int) {
+	if s == e.self || e.stats == nil {
+		return
+	}
+	e.stats.RecordProbe(e.cross != nil && e.cross[s])
+}
+
+// DirectTarget consults the Director placement (when the policy set has
+// one) for where an add of n elements should land, probing segment sizes
+// through the substrate's SizeProbe. Out-of-range answers keep the add
+// local, as does the absence of a Director.
+func (e *Engine) DirectTarget(n int) int {
+	if e.dir == nil {
+		return e.self
+	}
+	t := e.dir.Direct(e.self, e.segments, n, e.sizeFn)
+	if t < 0 || t >= e.segments {
+		return e.self
+	}
+	return t
+}
+
+// Search runs one search-steal on behalf of an operation wanting up to
+// want elements: arm the termination rule, run the substrate's Enter
+// bookkeeping, drive the search strategy over the substrate, and undo the
+// bookkeeping. On success (Result.Got > 0) the substrate holds the
+// reserved element and has transferred the rest toward the handle; on
+// abort the termination rule certified emptiness (or the substrate
+// stopped the search). Search performs no per-call allocation.
+func (e *Engine) Search(want int) search.Result {
+	e.w.want = want
+	e.w.term.Begin(want)
+	e.w.sub.Enter(want)
+	res := e.searcher.Search(&e.w)
+	e.w.sub.Exit()
+	return res
+}
+
+// world adapts a Substrate and a Termination rule to search.World (and
+// search.TreeWorld when the substrate supports the round-counter tree),
+// so the search algorithms see exactly the interface they were written
+// against while the engine records probes and termination evidence.
+type world struct {
+	e    *Engine
+	sub  Substrate
+	tree TreeSubstrate // non-nil iff sub implements TreeSubstrate
+	term Termination
+	want int
+}
+
+var _ search.TreeWorld = (*world)(nil)
+
+// Segments implements search.World.
+func (w *world) Segments() int { return w.e.segments }
+
+// Self implements search.World.
+func (w *world) Self() int { return w.e.self }
+
+// TrySteal implements search.World: delegate the probe to the substrate,
+// classify it, and report the outcome to the termination rule.
+func (w *world) TrySteal(s int) int {
+	got := w.sub.Probe(s, w.want)
+	w.e.NoteProbe(s)
+	if got > 0 {
+		w.term.SawProgress()
+	} else {
+		w.term.SawEmpty(s)
+	}
+	return got
+}
+
+// Aborted implements search.World: substrate hard stops first (closed
+// pools, landed gifts, drains), then the termination rule's emptiness
+// certificate.
+func (w *world) Aborted() bool {
+	return w.sub.Stopped() || w.term.Aborted()
+}
+
+// NumLeaves implements search.TreeWorld.
+func (w *world) NumLeaves() int { return w.tree.NumLeaves() }
+
+// RoundOf implements search.TreeWorld.
+func (w *world) RoundOf(n int) uint64 { return w.tree.RoundOf(n) }
+
+// MaxRound implements search.TreeWorld.
+func (w *world) MaxRound(n int, r uint64) { w.tree.MaxRound(n, r) }

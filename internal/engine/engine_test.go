@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"testing"
+
+	"pools/internal/metrics"
+	"pools/internal/numa"
+	"pools/internal/policy"
+	"pools/internal/search"
+)
+
+// fakeSub is a scripted in-memory substrate: segment sizes in a slice,
+// steal-half semantics, and call accounting for the Enter/Exit contract.
+type fakeSub struct {
+	segs     []int
+	self     int
+	reserved int // elements reserved for in-flight operations
+	enters   int
+	exits    int
+	probes   []int
+	stopped  bool
+}
+
+func (f *fakeSub) Probe(s, want int) int {
+	f.probes = append(f.probes, s)
+	n := f.segs[s]
+	if n == 0 {
+		return 0
+	}
+	if s == f.self {
+		f.segs[s]--
+		f.reserved++
+		return n
+	}
+	take := (n + 1) / 2
+	f.segs[s] -= take
+	f.segs[f.self] += take - 1
+	f.reserved++
+	return take
+}
+
+func (f *fakeSub) Stopped() bool { return f.stopped }
+func (f *fakeSub) Enter(int)     { f.enters++ }
+func (f *fakeSub) Exit()         { f.exits++ }
+
+func newFakeEngine(t *testing.T, segs []int, self int, cfg Config, term Termination) (*Engine, *fakeSub) {
+	t.Helper()
+	sub := &fakeSub{segs: segs, self: self}
+	cfg.Self = self
+	cfg.Segments = len(segs)
+	cfg.Policies = cfg.Policies.WithDefaults(search.Linear, false)
+	return New(cfg, sub, term), sub
+}
+
+// TestSearchFindsAndBrackets checks a successful search: the linear order
+// walks the ring to the first non-empty victim, Enter/Exit bracket the
+// run exactly once, and the fruitless prefix is probed in order.
+func TestSearchFindsAndBrackets(t *testing.T) {
+	e, sub := newFakeEngine(t, []int{0, 0, 0, 8}, 0, Config{}, NewBounded(8))
+	res := e.Search(1)
+	if res.Got != 4 || res.FoundAt != 3 || res.Examined != 4 {
+		t.Fatalf("Search = %+v, want Got=4 FoundAt=3 Examined=4", res)
+	}
+	if sub.enters != 1 || sub.exits != 1 {
+		t.Fatalf("Enter/Exit = %d/%d, want 1/1", sub.enters, sub.exits)
+	}
+	want := []int{0, 1, 2, 3}
+	for i, s := range want {
+		if sub.probes[i] != s {
+			t.Fatalf("probe order %v, want %v", sub.probes, want)
+		}
+	}
+}
+
+// TestBoundedBudgetExhausts checks the keyed pool's rule: an empty world
+// is probed exactly budget times and then the search reports an abort.
+func TestBoundedBudgetExhausts(t *testing.T) {
+	e, sub := newFakeEngine(t, make([]int, 4), 0, Config{}, NewBounded(8))
+	res := e.Search(1)
+	if res.Got != 0 || res.Examined != 8 {
+		t.Fatalf("Search = %+v, want abort after exactly 8 probes", res)
+	}
+	if sub.exits != 1 {
+		t.Fatal("Exit not called on an aborted search")
+	}
+}
+
+// TestStoppedSubstrateAborts checks substrate hard stops end the search
+// before any probe.
+func TestStoppedSubstrateAborts(t *testing.T) {
+	e, sub := newFakeEngine(t, []int{0, 5}, 0, Config{}, NewBounded(8))
+	sub.stopped = true
+	res := e.Search(1)
+	if res.Got != 0 || res.Examined != 0 {
+		t.Fatalf("Search = %+v, want an immediate abort with no probes", res)
+	}
+}
+
+// fakeCoverage is a scripted CoverageState.
+type fakeCoverage struct {
+	version   uint64
+	searching bool
+	gifts     bool
+	moving    bool
+}
+
+func (f *fakeCoverage) Version() uint64         { return f.version }
+func (f *fakeCoverage) AllSearching() bool      { return f.searching }
+func (f *fakeCoverage) GiftsInFlight() bool     { return f.gifts }
+func (f *fakeCoverage) TransfersInFlight() bool { return f.moving }
+
+// TestCoverageRule exercises the exact rule directly: no abort until
+// every segment is covered; gifts in flight and version bumps hold off or
+// re-arm the certificate; all-searching certifies it.
+func TestCoverageRule(t *testing.T) {
+	st := &fakeCoverage{}
+	c := NewCoverage(3, st)
+	c.Begin(1)
+	c.SawEmpty(0)
+	c.SawEmpty(1)
+	if c.Aborted() {
+		t.Fatal("aborted before covering every segment")
+	}
+	c.SawEmpty(2)
+	if !c.Aborted() {
+		t.Fatal("covered pool with stable version must certify emptiness")
+	}
+	// A version bump re-arms the rule instead of aborting.
+	c.Begin(1)
+	c.SawEmpty(0)
+	c.SawEmpty(1)
+	c.SawEmpty(2)
+	st.version++
+	if c.Aborted() {
+		t.Fatal("aborted on a stale certificate after a version bump")
+	}
+	if c.Aborted() {
+		t.Fatal("re-armed rule aborted without fresh coverage")
+	}
+	// Gifts in flight outrank even the all-searching observation.
+	c.SawEmpty(0)
+	c.SawEmpty(1)
+	c.SawEmpty(2)
+	st.searching = true
+	st.gifts = true
+	if c.Aborted() {
+		t.Fatal("certified emptiness over an in-flight gift")
+	}
+	st.gifts = false
+	// A steal mid-transfer (surplus in a thief's private buffer, not yet
+	// deposited) equally holds off the certificate, even over the
+	// all-searching observation — the thief is one of the lookers.
+	st.moving = true
+	if c.Aborted() {
+		t.Fatal("certified emptiness over an in-flight steal transfer")
+	}
+	st.moving = false
+	if !c.Aborted() {
+		t.Fatal("all-searching covered pool must abort")
+	}
+	// Progress resets coverage entirely.
+	c.Begin(1)
+	c.SawEmpty(0)
+	c.SawEmpty(1)
+	c.SawProgress()
+	c.SawEmpty(2)
+	st.searching = false
+	if c.Aborted() {
+		t.Fatal("aborted with only one segment covered since progress")
+	}
+}
+
+// fakeLaps is a scripted LapsState.
+type fakeLaps struct {
+	searching bool
+	latched   bool
+}
+
+func (f *fakeLaps) AllSearching() bool { return f.searching }
+func (f *fakeLaps) LatchEmpty()        { f.latched = true }
+
+// TestLapsRule checks the simulator's rule: all-searching alone is not
+// enough — a full lap of consecutive fruitless probes must also have been
+// invested — and certifying emptiness latches the pool-wide abort.
+func TestLapsRule(t *testing.T) {
+	st := &fakeLaps{searching: true}
+	l := NewLaps(3, st)
+	l.Begin(1)
+	l.SawEmpty(0)
+	l.SawEmpty(1)
+	if l.Aborted() {
+		t.Fatal("aborted before a full fruitless lap")
+	}
+	l.SawEmpty(2)
+	if !l.Aborted() {
+		t.Fatal("full lap while all searching must abort")
+	}
+	if !st.latched {
+		t.Fatal("certifying emptiness must latch the pool-wide abort")
+	}
+	// Progress resets the lap count.
+	st.latched = false
+	l.Begin(1)
+	l.SawEmpty(0)
+	l.SawEmpty(1)
+	l.SawProgress()
+	l.SawEmpty(2)
+	if l.Aborted() {
+		t.Fatal("aborted without a full consecutive lap after progress")
+	}
+}
+
+// TestNoteProbeClassification checks the precomputed near/cross masks and
+// the stats gate.
+func TestNoteProbeClassification(t *testing.T) {
+	var stats metrics.PoolStats
+	e, _ := newFakeEngine(t, make([]int, 4), 0, Config{
+		Topology: numa.Clusters{Size: 2},
+		Stats:    &stats,
+	}, NewBounded(4))
+	e.NoteProbe(0) // self: not counted
+	e.NoteProbe(1) // same cluster: near
+	e.NoteProbe(2) // across the boundary: cross
+	e.NoteProbe(3)
+	if stats.RemoteProbes != 3 || stats.CrossProbes != 2 {
+		t.Fatalf("remote/cross = %d/%d, want 3/2", stats.RemoteProbes, stats.CrossProbes)
+	}
+	// Nil stats disables the accounting entirely (CollectStats=false).
+	e2, _ := newFakeEngine(t, make([]int, 4), 0, Config{Topology: numa.Clusters{Size: 2}}, NewBounded(4))
+	e2.NoteProbe(2) // must not panic or record
+}
+
+// clampDir is a Director returning a scripted target.
+type clampDir struct{ target int }
+
+func (clampDir) GiftSplit(int, int) int { return 0 }
+func (clampDir) Name() string           { return "clamp" }
+func (d clampDir) Direct(self, segments, n int, size func(int) int) int {
+	size(0)
+	return d.target
+}
+
+// TestDirectTarget checks Director consultation and out-of-range
+// clamping.
+func TestDirectTarget(t *testing.T) {
+	probed := 0
+	mk := func(target int) *Engine {
+		sub := &fakeSub{segs: make([]int, 4), self: 1}
+		return New(Config{
+			Self: 1, Segments: 4,
+			Policies:  policy.Set{Place: clampDir{target: target}}.WithDefaults(search.Linear, false),
+			SizeProbe: func(int) int { probed++; return 0 },
+		}, sub, NewBounded(4))
+	}
+	if got := mk(3).DirectTarget(1); got != 3 {
+		t.Fatalf("DirectTarget = %d, want the director's 3", got)
+	}
+	if got := mk(7).DirectTarget(1); got != 1 {
+		t.Fatalf("out-of-range direct = %d, want clamp to self 1", got)
+	}
+	if got := mk(-2).DirectTarget(1); got != 1 {
+		t.Fatalf("negative direct = %d, want clamp to self 1", got)
+	}
+	if probed != 3 {
+		t.Fatalf("size probes = %d, want one per Direct call", probed)
+	}
+	// Without a Director every add stays local, no probes.
+	e, _ := newFakeEngine(t, make([]int, 4), 2, Config{}, NewBounded(4))
+	if got := e.DirectTarget(5); got != 2 {
+		t.Fatalf("no-director DirectTarget = %d, want self", got)
+	}
+}
+
+// TestControlAwareWiring checks the engine resolves per-handle
+// controllers and threads them into ControlAware orders: two handles get
+// distinct spawned controllers, and a hierarchical order's searcher is
+// built through SearcherFor.
+func TestControlAwareWiring(t *testing.T) {
+	ph := policy.NewPerHandle()
+	pol := policy.Set{
+		Steal:   ph,
+		Control: ph,
+		Order:   policy.HierarchicalOrder{Topo: numa.Clusters{Size: 2}},
+	}.WithDefaults(search.Linear, false)
+	mk := func(self int) *Engine {
+		sub := &fakeSub{segs: make([]int, 4), self: self}
+		return New(Config{Self: self, Segments: 4, Policies: pol}, sub, NewBounded(4))
+	}
+	e0, e1 := mk(0), mk(1)
+	if e0.Controller() == nil || e0.Controller() == e1.Controller() {
+		t.Fatal("per-handle set must spawn a distinct controller per engine")
+	}
+	if e0.StealAmount() == nil || policy.StealAmount(ph) == e0.StealAmount() {
+		t.Fatal("spawned controller must also become the handle's steal amount")
+	}
+	if k := e0.Searcher().Kind(); k != search.Hierarchical {
+		t.Fatalf("searcher kind = %v, want hierarchical (ControlAware path)", k)
+	}
+}

@@ -63,9 +63,12 @@ func hierSet(name string, costs numa.CostModel, topo numa.Topology) policy.Set {
 	}
 }
 
-// HierRow is one (configuration, delay scale) measurement.
+// HierRow is one (configuration, delay scale) measurement. Topo names
+// the hop topology the sweep ran on, so the two-level and three-level
+// sweeps' CSV rows stay distinguishable when concatenated.
 type HierRow struct {
 	Order   string
+	Topo    string
 	DelayUS int64
 	Point   Point
 }
@@ -79,8 +82,31 @@ type HierRow struct {
 // RemoteExtra — so their operation-time curves pull below the flat
 // orders' alongside (and then past) the merely-ranked locality order.
 func HierSweep(cfg Config, scales []int64) []HierRow {
+	return hierSweepOn(cfg, scales, numa.Clusters{Size: LocalityClusterSize})
+}
+
+// DeepTopology is the three-level machine the deep hierarchical sweep
+// runs on: 16 paper processors as eight 2-processor boards in two
+// 8-processor cabinets (numa.NestedClusters{Inner: 2, Outer: 8}) — hop
+// distances 1 (board), 2 (cabinet), 4 (machine). Each searcher's
+// escalation ladder has three rings here, so the threshold fires twice
+// per fully-fruitless search instead of once.
+func DeepTopology() numa.Topology { return numa.NestedClusters{Inner: 2, Outer: 8} }
+
+// HierDeepSweep is HierSweep on the three-level DeepTopology — the
+// deeper-than-two-level machine the escalation ladder supports but the
+// two-level sweep never exercises. The cross-probe fraction counts every
+// probe that leaves the searcher's inner cluster (hop distance > 1), so
+// hierarchical orders start from a higher flat baseline here (any
+// off-board probe is "cross") and the discipline of climbing board →
+// cabinet → machine shows up as a larger relative reduction.
+func HierDeepSweep(cfg Config, scales []int64) []HierRow {
+	return hierSweepOn(cfg, scales, DeepTopology())
+}
+
+// hierSweepOn runs the hierarchical sweep on one hop topology.
+func hierSweepOn(cfg Config, scales []int64, topo numa.Topology) []HierRow {
 	c := cfg.withDefaults()
-	topo := numa.Clusters{Size: LocalityClusterSize}
 	base := c.Costs.WithTopology(topo)
 	var out []HierRow
 	for _, name := range HierOrderNames() {
@@ -97,7 +123,7 @@ func HierSweep(cfg Config, scales []int64) []HierRow {
 					Seed: seed, Policies: hierSet(name, costs, topo),
 				})
 			})
-			out = append(out, HierRow{Order: name, DelayUS: d, Point: pt})
+			out = append(out, HierRow{Order: name, Topo: topo.Name(), DelayUS: d, Point: pt})
 		}
 	}
 	return out
@@ -109,6 +135,18 @@ func HierSweep(cfg Config, scales []int64) []HierRow {
 // measurement table with a hier/best-flat time ratio column (< 1.0 means
 // cluster-first escalation beat every flat order at that delay).
 func RenderHier(rows []HierRow) string {
+	return renderHier(rows, fmt.Sprintf("%d-proc clusters", LocalityClusterSize))
+}
+
+// RenderHierDeep draws the deep sweep (HierDeepSweep) with the
+// three-level topology named in the chart titles.
+func RenderHierDeep(rows []HierRow) string {
+	return renderHier(rows, DeepTopology().Name()+" three-level topology")
+}
+
+// renderHier renders one hierarchical sweep, labelling the charts with
+// the topology description.
+func renderHier(rows []HierRow, label string) string {
 	frac := map[string]*plot.Series{}
 	times := map[string]*plot.Series{}
 	var order []string
@@ -131,13 +169,13 @@ func RenderHier(rows []HierRow) string {
 		ts = append(ts, *times[name])
 	}
 	fracChart := plot.LineChart(
-		fmt.Sprintf("Hierarchical sweep: cross-cluster probe fraction vs added remote delay (%d-proc clusters)", LocalityClusterSize),
+		fmt.Sprintf("Hierarchical sweep: cross-cluster probe fraction vs added remote delay (%s)", label),
 		"added delay per remote op (virt µs)", "cross-cluster probe fraction",
 		70, 14,
 		fs,
 	)
 	timeChart := plot.LineChart(
-		"Hierarchical sweep: avg operation time vs added remote delay",
+		fmt.Sprintf("Hierarchical sweep: avg operation time vs added remote delay (%s)", label),
 		"added delay per remote op (virt µs)", "avg op time (virt µs)",
 		70, 14,
 		ts,
@@ -176,13 +214,16 @@ func RenderHier(rows []HierRow) string {
 	return fracChart + "\n" + timeChart + "\n" + table
 }
 
-// HierCSV emits the sweep as comma-separated values.
+// HierCSV emits the sweep as comma-separated values. The topology column
+// keeps rows from the two-level and three-level sweeps distinguishable
+// when both blocks appear in one output.
 func HierCSV(rows []HierRow) string {
-	header := []string{"order", "delay_us", "cross_probe_frac", "avg_op_us", "segs_per_steal", "steals_per_op", "aborts_per_op", "makespan_us"}
+	header := []string{"order", "topology", "delay_us", "cross_probe_frac", "avg_op_us", "segs_per_steal", "steals_per_op", "aborts_per_op", "makespan_us"}
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
 			r.Order,
+			r.Topo,
 			fmt.Sprintf("%d", r.DelayUS),
 			fmt.Sprintf("%.4f", r.Point.CrossProbeFrac),
 			fmt.Sprintf("%.2f", r.Point.AvgOpTime),

@@ -62,8 +62,11 @@ func TestRenderHier(t *testing.T) {
 		}
 	}
 	csv := HierCSV(rows)
-	if !strings.Contains(csv, "order,delay_us,cross_probe_frac,avg_op_us") {
+	if !strings.Contains(csv, "order,topology,delay_us,cross_probe_frac,avg_op_us") {
 		t.Errorf("CSV header missing:\n%s", csv)
+	}
+	if !strings.Contains(csv, ",clusters-4,") {
+		t.Errorf("CSV rows missing the topology column:\n%s", csv)
 	}
 	if got := strings.Count(csv, "\n"); got != len(rows)+1 {
 		t.Errorf("CSV has %d lines, want %d", got, len(rows)+1)

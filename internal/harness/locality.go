@@ -185,28 +185,40 @@ func LocalityCSV(rows []LocalityRow) string {
 }
 
 // ControlTraceResult holds one controller-trajectory run: the per-handle
-// steal fraction and batch recommendation over virtual time under the
-// per-handle adaptive policy on the burst producer/consumer workload.
+// steal fraction, batch recommendation, and cross-cluster probe fraction
+// over virtual time under the per-handle adaptive policy on the burst
+// producer/consumer workload (run on the clustered topology so the
+// cross-probe accounting has boundaries to observe).
 type ControlTraceResult struct {
 	Kind      search.Kind
 	Batch     int
 	Producers map[int]bool
 	// FracSampled[h] is handle h's steal fraction (permil) resampled at
-	// uniform virtual-time steps; BatchSampled[h] the batch recommendation.
+	// uniform virtual-time steps; BatchSampled[h] the batch
+	// recommendation; CrossSampled[h] the cumulative cross-cluster probe
+	// fraction (permil).
 	FracSampled  [][]int64
 	BatchSampled [][]int64
-	// FinalFrac and FinalBatch are each handle's last sampled values.
+	CrossSampled [][]int64
+	// FinalFrac, FinalBatch, and FinalCross are each handle's last
+	// sampled values.
 	FinalFrac  []float64
 	FinalBatch []int64
+	FinalCross []float64
 	Makespan   int64
 }
 
 // ControlTraceRun executes one burst producer/consumer trial under the
-// per-handle adaptive policy with controller tracing on. Producers never
-// remove, so their controllers hold the paper's steal-half fraction;
-// consumers steal constantly and their fractions climb — per-handle
-// control is visible as diverging rows, where the pool-wide adaptive set
-// would show every row identical.
+// per-handle adaptive policy with controller tracing on, on the clustered
+// topology the locality sweep uses. Producers never remove, so their
+// controllers hold the paper's steal-half fraction; consumers steal
+// constantly and their fractions climb — per-handle control is visible as
+// diverging rows, where the pool-wide adaptive set would show every row
+// identical. Producers are contiguous (the paper's unbalanced Figure 3
+// arrangement), so whole clusters hold no producer at all and the
+// cross-probe panels have structure to show: a consumer sharing a cluster
+// with a producer settles to a low cross fraction, one marooned in an
+// all-consumer cluster pays the boundary on most probes.
 func ControlTraceRun(cfg Config, kind search.Kind, producers, batch int) ControlTraceResult {
 	c := cfg.withDefaults()
 	set, err := policy.Named("per-handle")
@@ -215,11 +227,12 @@ func ControlTraceRun(cfg Config, kind search.Kind, producers, batch int) Control
 	}
 	w := c.workloadFor(workload.Burst)
 	w.Producers = producers
-	w.Arrangement = workload.Balanced
+	w.Arrangement = workload.Contiguous
 	w.BatchSize = batch
 	res := sim.Run(sim.RunConfig{
-		Workload: w, Search: kind, Costs: c.Costs,
-		Seed: rng.SubSeed(c.Seed, 0), Policies: set, ControlTrace: true,
+		Workload: w, Search: kind,
+		Costs: c.Costs.WithTopology(numa.Clusters{Size: LocalityClusterSize}),
+		Seed:  rng.SubSeed(c.Seed, 0), Policies: set, ControlTrace: true,
 	})
 
 	const buckets = 100
@@ -239,26 +252,33 @@ func ControlTraceRun(cfg Config, kind search.Kind, producers, batch int) Control
 		Producers: map[int]bool{},
 		Makespan:  res.Makespan,
 	}
-	for _, p := range workload.ProducerPositions(c.Procs, producers, workload.Balanced) {
+	for _, p := range workload.ProducerPositions(c.Procs, producers, workload.Contiguous) {
 		out.Producers[p] = true
 	}
 	for i := range res.Controls {
 		fr := res.Controls[i].FracPermil.SampleAt(times)
 		ba := res.Controls[i].Batch.SampleAt(times)
+		cr := res.Controls[i].CrossPermil.SampleAt(times)
 		out.FracSampled = append(out.FracSampled, fr)
 		out.BatchSampled = append(out.BatchSampled, ba)
+		out.CrossSampled = append(out.CrossSampled, cr)
 		out.FinalFrac = append(out.FinalFrac, float64(fr[len(fr)-1])/1000)
 		out.FinalBatch = append(out.FinalBatch, ba[len(ba)-1])
+		out.FinalCross = append(out.FinalCross, float64(cr[len(cr)-1])/1000)
 	}
 	return out
 }
 
-// RenderControlTrace draws the trajectory panels (steal fraction per
-// handle over virtual time) and the final-operating-point table.
+// RenderControlTrace draws the trajectory panels — steal fraction per
+// handle over virtual time, then each handle's cross-cluster probe
+// fraction — and the final-operating-point table.
 func RenderControlTrace(r ControlTraceResult) string {
 	title := fmt.Sprintf("Controller trajectories: per-handle steal fraction over time (%s search, burst batch %d)",
 		r.Kind, r.Batch)
 	body := plot.TracePanels(title, "handle", "steal fraction (permil)", r.FracSampled, r.Producers, "P", "C")
+	crossTitle := fmt.Sprintf("Cross-cluster probe fraction per handle over time (%d-proc clusters)",
+		LocalityClusterSize)
+	body += "\n" + plot.TracePanels(crossTitle, "handle", "cross-probe fraction (permil)", r.CrossSampled, r.Producers, "P", "C")
 	var cells [][]string
 	for h := range r.FracSampled {
 		role := "consumer"
@@ -270,16 +290,17 @@ func RenderControlTrace(r ControlTraceResult) string {
 			role,
 			fmt.Sprintf("%.3f", r.FinalFrac[h]),
 			fmt.Sprintf("%d", r.FinalBatch[h]),
+			fmt.Sprintf("%.3f", r.FinalCross[h]),
 		})
 	}
-	table := plot.Table([]string{"handle", "role", "final steal fraction", "final batch"}, cells)
+	table := plot.Table([]string{"handle", "role", "final steal fraction", "final batch", "final cross-frac"}, cells)
 	return body + "\n" + table
 }
 
 // ControlTraceCSV emits the trajectories in long form: one row per
 // (handle, sample).
 func ControlTraceCSV(r ControlTraceResult) string {
-	header := []string{"handle", "role", "sample", "frac_permil", "batch"}
+	header := []string{"handle", "role", "sample", "frac_permil", "batch", "cross_permil"}
 	var out [][]string
 	for h := range r.FracSampled {
 		role := "consumer"
@@ -293,6 +314,7 @@ func ControlTraceCSV(r ControlTraceResult) string {
 				fmt.Sprintf("%d", i),
 				fmt.Sprintf("%d", r.FracSampled[h][i]),
 				fmt.Sprintf("%d", r.BatchSampled[h][i]),
+				fmt.Sprintf("%d", r.CrossSampled[h][i]),
 			})
 		}
 	}

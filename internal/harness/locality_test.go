@@ -91,8 +91,24 @@ func TestControlTraceRunDiverges(t *testing.T) {
 			t.Errorf("render missing %q", want)
 		}
 	}
+	// The cross-probe trajectories ride along: panels in the render, a
+	// cross_permil column in the CSV, and — with contiguous producers on
+	// the clustered topology — at least one consumer that had to cross a
+	// boundary to eat.
+	if !strings.Contains(out, "Cross-cluster probe fraction per handle") {
+		t.Error("render missing the cross-probe panels")
+	}
+	crossed := false
+	for h := range res.FinalCross {
+		if res.FinalCross[h] > 0 {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Error("no handle shows a cross-cluster probe fraction: trace accounting lost")
+	}
 	csv := ControlTraceCSV(res)
-	if !strings.Contains(csv, "handle,role,sample,frac_permil,batch") {
+	if !strings.Contains(csv, "handle,role,sample,frac_permil,batch,cross_permil") {
 		t.Errorf("CSV header missing:\n%s", csv)
 	}
 	if got := strings.Count(csv, "\n"); got != 16*100+1 {

@@ -7,27 +7,33 @@
 // Local operations stay O(1); when the local segment has no element of
 // the requested class, the process walks the segment ring and steals half
 // of the first matching bucket it finds — the plain pool's linear
-// algorithm lifted to buckets.
+// algorithm lifted to buckets. The walk itself is the shared search-steal
+// protocol from internal/engine: the keyed pool supplies a bucket-probing
+// substrate and a bounded termination rule, and the engine drives the
+// same searcher/feedback loop the plain pool and the simulator run.
 //
 // Unlike the plain pool, a keyed removal knows exactly what it is looking
 // for, so emptiness is decidable without the all-searching livelock rule:
-// a Get that completes a full sweep without finding its class returns
-// false. (A concurrent add of that class can race past a sweep, exactly
-// as it can in the paper's pool; callers retry if their protocol expects
-// late arrivals.)
+// a Get that completes Options.Sweeps full passes without finding its
+// class returns false (engine.Bounded). (A concurrent add of that class
+// can race past a sweep, exactly as it can in the paper's pool; callers
+// retry if their protocol expects late arrivals.)
 //
 // The keyed pool consults the same policy.Set as the plain pool
 // (Options.Policies): the StealAmount sizes bucket steals, a VictimOrder
-// that implements policy.Ranker (policy.LocalityOrder) reorders the ring
-// sweep cheapest-victim-first, a policy.Director placement steers adds
-// toward the emptiest segment, and a Controller — per-handle or
-// pool-wide — tunes from each remove's outcome.
+// that implements policy.Ranker (policy.LocalityOrder,
+// policy.HierarchicalOrder) reorders the ring sweep cheapest-victim-
+// first, a policy.Director placement steers adds toward the emptiest
+// segment, and a Controller — per-handle or pool-wide — tunes from each
+// remove's outcome.
 package keyed
 
 import (
 	"fmt"
 	"sync"
 
+	"pools/internal/engine"
+	"pools/internal/metrics"
 	"pools/internal/numa"
 	"pools/internal/policy"
 	"pools/internal/search"
@@ -66,8 +72,7 @@ type Options struct {
 // Pool is a concurrent pool of key-classed elements. Create with New.
 type Pool[K comparable, V any] struct {
 	opts    Options
-	pol     policy.Set      // resolved policies (no nil slots)
-	dir     policy.Director // size-aware placement, if Policies.Place is one
+	pol     policy.Set // resolved policies (no nil slots)
 	segs    []seg[K, V]
 	handles []*Handle[K, V]
 }
@@ -76,7 +81,34 @@ type seg[K comparable, V any] struct {
 	mu      sync.Mutex
 	buckets map[K]*segment.Deque[V]
 	total   int
-	_       [64]byte
+	// spare caches the most recently emptied bucket's deque (buffer and
+	// all) for reuse, so a key that drains and refills — the steady state
+	// of a hot class — does not allocate a fresh bucket per cycle.
+	spare *segment.Deque[V]
+	_     [64]byte
+}
+
+// bucket returns segment s's class-k bucket, creating it (from the spare
+// cache when possible) if absent. Callers hold s.mu.
+func (s *seg[K, V]) bucket(k K) *segment.Deque[V] {
+	b := s.buckets[k]
+	if b == nil {
+		if s.spare != nil {
+			b = s.spare
+			s.spare = nil
+		} else {
+			b = &segment.Deque[V]{}
+		}
+		s.buckets[k] = b
+	}
+	return b
+}
+
+// drop removes class k's emptied bucket from the map, caching its deque
+// for reuse. Callers hold s.mu and guarantee b is empty.
+func (s *seg[K, V]) drop(k K, b *segment.Deque[V]) {
+	delete(s.buckets, k)
+	s.spare = b
 }
 
 // New creates a keyed pool.
@@ -96,9 +128,6 @@ func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
 	}
 	pol = pol.WithDefaults(search.Linear, false)
 	p := &Pool[K, V]{opts: opts, pol: pol, segs: make([]seg[K, V], opts.Segments)}
-	if d, ok := pol.Place.(policy.Director); ok {
-		p.dir = d
-	}
 	var ranker policy.Ranker
 	if r, ok := pol.Order.(policy.Ranker); ok {
 		ranker = r
@@ -108,14 +137,33 @@ func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
 	}
 	p.handles = make([]*Handle[K, V], opts.Segments)
 	for i := range p.handles {
-		ctl, steal := pol.ForHandle(i)
-		p.handles[i] = &Handle[K, V]{pool: p, id: i, ctl: ctl, steal: steal, lastFound: i}
+		h := &Handle[K, V]{pool: p, id: i}
+		// The sweep is a search.Searcher like every other substrate's:
+		// the ranked preference when the victim order offers one, the
+		// ring from where elements were last found otherwise. Rank
+		// returns nil under victim-uniform costs: the handle keeps the
+		// ring sweep, matching the plain pool's fallback to a paper
+		// algorithm.
+		var srch search.Searcher
 		if ranker != nil {
-			// Rank returns nil under victim-uniform costs: the handle
-			// keeps the default ring sweep, matching the plain pool's
-			// fallback to a paper algorithm.
-			p.handles[i].rank = ranker.Rank(i, opts.Segments)
+			if rank := ranker.Rank(i, opts.Segments); rank != nil {
+				srch = search.NewOrderedSearcher(rank)
+			}
 		}
+		if srch == nil {
+			srch = search.NewLinearSearcher(i)
+		}
+		h.eng = engine.New(engine.Config{
+			Self:      i,
+			Segments:  opts.Segments,
+			Policies:  pol,
+			Topology:  opts.Topology,
+			Stats:     &h.stats,
+			Searcher:  srch,
+			SizeProbe: h.sizeProbe(),
+		}, &h.sub, engine.NewBounded(opts.Segments*opts.Sweeps))
+		h.steal = h.eng.StealAmount()
+		p.handles[i] = h
 	}
 	return p, nil
 }
@@ -153,20 +201,21 @@ func (p *Pool[K, V]) LenKey(k K) int {
 }
 
 // Handle is one process's attachment to a keyed pool segment. A Handle
-// may be used by only one goroutine at a time.
+// may be used by only one goroutine at a time. Its searches run through
+// the shared engine: the handle supplies bucket probes, the engine owns
+// the sweep order, the probe budget, and the feedback plumbing.
 type Handle[K comparable, V any] struct {
-	pool      *Pool[K, V]
-	id        int
-	ctl       policy.Controller  // this handle's controller (own instance under per-handle sets)
-	steal     policy.StealAmount // this handle's steal amount
-	rank      []int              // ranked sweep order (nil = ring order from lastFound)
-	lastFound int                // segment where elements were last stolen
+	pool     *Pool[K, V]
+	id       int
+	eng      *engine.Engine
+	steal    policy.StealAmount // resolved steal amount, cached off the engine for the probe loop
+	sub      keyedSubstrate
+	stealBuf []V // reused bucket-steal buffer (reserve under the victim's lock, deposit outside)
 
-	// Probe accounting under Options.Topology (unsynchronized, like the
-	// plain pool's per-handle stats; read via Pool.ProbeStats after the
-	// workers join).
-	remoteProbes int64
-	crossProbes  int64
+	// stats carries the remote-probe accounting under Options.Topology
+	// (unsynchronized, like the plain pool's per-handle stats; read via
+	// Pool.ProbeStats after the workers join).
+	stats metrics.PoolStats
 }
 
 // ProbeStats sums every handle's remote-probe accounting: how many sweep
@@ -175,8 +224,8 @@ type Handle[K comparable, V any] struct {
 // the plain pool, call it only while no operations are in flight.
 func (p *Pool[K, V]) ProbeStats() (remote, cross int64) {
 	for _, h := range p.handles {
-		remote += h.remoteProbes
-		cross += h.crossProbes
+		remote += h.stats.RemoteProbes
+		cross += h.stats.CrossProbes
 	}
 	return remote, cross
 }
@@ -187,49 +236,28 @@ func (h *Handle[K, V]) ID() int { return h.id }
 // observe feeds one remove outcome to this handle's controller, if any —
 // the same feedback stream core.Handle reports, so adaptive and
 // per-handle policies tune identically on the keyed pool.
-func (h *Handle[K, V]) observe(fb policy.Feedback) {
-	if h.ctl != nil {
-		h.ctl.Observe(fb)
-	}
-}
+func (h *Handle[K, V]) observe(fb policy.Feedback) { h.eng.Observe(fb) }
 
-// directTarget consults the Director placement (when the pool has one)
-// for where an add of n elements should land.
-func (h *Handle[K, V]) directTarget(n int) int {
-	p := h.pool
-	if p.dir == nil {
-		return h.id
-	}
-	t := p.dir.Direct(h.id, len(p.segs), n, func(sIdx int) int {
-		if sIdx != h.id {
-			h.remoteProbes++
-			if topo := p.opts.Topology; topo != nil && topo.Distance(h.id, sIdx) > 1 {
-				h.crossProbes++
-			}
-		}
-		s := &p.segs[sIdx]
+// sizeProbe builds the Director size-probe closure once per handle, so
+// the add hot path under a size-aware placement does not allocate a
+// closure per Put.
+func (h *Handle[K, V]) sizeProbe() func(s int) int {
+	return func(sIdx int) int {
+		h.eng.NoteProbe(sIdx)
+		s := &h.pool.segs[sIdx]
 		s.mu.Lock()
 		l := s.total
 		s.mu.Unlock()
 		return l
-	})
-	if t < 0 || t >= len(p.segs) {
-		return h.id
 	}
-	return t
 }
 
 // Put adds an element of class k to the local segment — or to the
 // segment a Director placement selects. O(1) without a Director.
 func (h *Handle[K, V]) Put(k K, v V) {
-	s := &h.pool.segs[h.directTarget(1)]
+	s := &h.pool.segs[h.eng.DirectTarget(1)]
 	s.mu.Lock()
-	b := s.buckets[k]
-	if b == nil {
-		b = &segment.Deque[V]{}
-		s.buckets[k] = b
-	}
-	b.Add(v)
+	s.bucket(k).Add(v)
 	s.total++
 	s.mu.Unlock()
 }
@@ -241,16 +269,21 @@ func (h *Handle[K, V]) PutAll(k K, vs []V) {
 	if len(vs) == 0 {
 		return
 	}
-	s := &h.pool.segs[h.directTarget(len(vs))]
+	s := &h.pool.segs[h.eng.DirectTarget(len(vs))]
 	s.mu.Lock()
-	b := s.buckets[k]
-	if b == nil {
-		b = &segment.Deque[V]{}
-		s.buckets[k] = b
-	}
-	b.AddAll(vs)
+	s.bucket(k).AddAll(vs)
 	s.total += len(vs)
 	s.mu.Unlock()
+}
+
+// search runs one engine-driven sweep with the given probe, returning the
+// search result. probe reports the number of elements it obtained from a
+// segment (0 = nothing of interest there).
+func (h *Handle[K, V]) search(want int, probe func(sIdx int) int) search.Result {
+	h.sub.probe = probe
+	res := h.eng.Search(want)
+	h.sub.probe = nil
+	return res
 }
 
 // GetN removes up to max elements of class k in one operation: it drains
@@ -269,55 +302,17 @@ func (h *Handle[K, V]) GetN(k K, max int) []V {
 	}
 	var out []V
 	stole := false
-	found, probes := h.sweep(func(sIdx int) bool {
+	res := h.search(max, func(sIdx int) int {
 		if sIdx == h.id {
 			out = h.takeLocalN(k, max)
 		} else {
 			out = h.stealNFrom(sIdx, k, max)
 			stole = len(out) > 0
 		}
-		return len(out) > 0
+		return len(out)
 	})
-	h.observe(policy.Feedback{Stole: stole, Aborted: !found, Examined: probes, Got: len(out)})
+	h.observe(policy.Feedback{Stole: stole, Aborted: res.Got == 0, Examined: res.Examined, Got: len(out)})
 	return out
-}
-
-// sweep visits segments — in the victim order's ranked preference when
-// the pool has one, otherwise around the ring from where elements were
-// last found — for Options.Sweeps full passes, calling probe on each
-// segment (including the local one) until probe reports success. A
-// successful remote probe under ring order updates lastFound so the next
-// search starts there; ranked orders always restart cheapest-first. It
-// reports whether any probe succeeded and how many probes were spent —
-// the shared walk behind Get, GetAny, and GetN.
-func (h *Handle[K, V]) sweep(probe func(sIdx int) bool) (bool, int) {
-	n := len(h.pool.segs)
-	topo := h.pool.opts.Topology
-	probes := n * h.pool.opts.Sweeps
-	for i := 0; i < probes; i++ {
-		var sIdx int
-		if h.rank != nil {
-			sIdx = h.rank[i%n]
-		} else {
-			sIdx = h.lastFound + i
-			for sIdx >= n {
-				sIdx -= n
-			}
-		}
-		if sIdx != h.id {
-			h.remoteProbes++
-			if topo != nil && topo.Distance(h.id, sIdx) > 1 {
-				h.crossProbes++
-			}
-		}
-		if probe(sIdx) {
-			if sIdx != h.id && h.rank == nil {
-				h.lastFound = sIdx
-			}
-			return true, i + 1
-		}
-	}
-	return false, probes
 }
 
 // Get removes an element of class k: locally when possible, otherwise by
@@ -330,10 +325,11 @@ func (h *Handle[K, V]) Get(k K) (V, bool) {
 		h.observe(policy.Feedback{Got: 1})
 		return v, true
 	}
-	// Search from where elements were last found (or cheapest-first).
+	// Search from where elements were last found (or in the victim
+	// order's ranked preference).
 	var out V
 	stole := false
-	found, probes := h.sweep(func(sIdx int) bool {
+	res := h.search(1, func(sIdx int) int {
 		var ok bool
 		if sIdx == h.id {
 			out, ok = h.takeLocal(k)
@@ -341,13 +337,17 @@ func (h *Handle[K, V]) Get(k K) (V, bool) {
 			out, ok = h.stealFrom(sIdx, k)
 			stole = ok
 		}
-		return ok
+		if ok {
+			return 1
+		}
+		return 0
 	})
+	found := res.Got > 0
 	got := 0
 	if found {
 		got = 1
 	}
-	h.observe(policy.Feedback{Stole: stole, Aborted: !found, Examined: probes, Got: got})
+	h.observe(policy.Feedback{Stole: stole, Aborted: !found, Examined: res.Examined, Got: got})
 	return out, found
 }
 
@@ -361,7 +361,7 @@ func (h *Handle[K, V]) GetAny() (K, V, bool) {
 	var outK K
 	var outV V
 	stole := false
-	found, probes := h.sweep(func(sIdx int) bool {
+	res := h.search(1, func(sIdx int) int {
 		var ok bool
 		if sIdx == h.id {
 			outK, outV, ok = h.takeLocalAny()
@@ -369,13 +369,17 @@ func (h *Handle[K, V]) GetAny() (K, V, bool) {
 			outK, outV, ok = h.stealAnyFrom(sIdx)
 			stole = ok
 		}
-		return ok
+		if ok {
+			return 1
+		}
+		return 0
 	})
+	found := res.Got > 0
 	got := 0
 	if found {
 		got = 1
 	}
-	h.observe(policy.Feedback{Stole: stole, Aborted: !found, Examined: probes, Got: got})
+	h.observe(policy.Feedback{Stole: stole, Aborted: !found, Examined: res.Examined, Got: got})
 	return outK, outV, found
 }
 
@@ -393,7 +397,7 @@ func (h *Handle[K, V]) takeLocal(k K) (V, bool) {
 	if ok {
 		s.total--
 		if b.Empty() {
-			delete(s.buckets, k)
+			s.drop(k, b)
 		}
 	}
 	return v, ok
@@ -411,48 +415,53 @@ func (h *Handle[K, V]) takeLocalN(k K, max int) []V {
 	out := b.RemoveN(max)
 	s.total -= len(out)
 	if b.Empty() {
-		delete(s.buckets, k)
+		s.drop(k, b)
 	}
 	return out
 }
 
 // stealNFrom steals the policy-chosen share of segment sIdx's class-k
-// bucket into the local segment (the StealAmount sees max as the
-// requester's appetite) and returns up to max of the transferred
-// elements, leaving the rest parked locally.
+// bucket (the StealAmount sees max as the requester's appetite) and
+// returns up to max of the transferred elements, parking the rest in the
+// local segment. The share is reserved into the handle's private buffer
+// under the victim's lock alone and deposited after unlocking, so a
+// bucket steal never holds two segment locks at once.
 func (h *Handle[K, V]) stealNFrom(sIdx int, k K, max int) []V {
 	p := h.pool
-	a, b := sIdx, h.id
-	if a > b {
-		a, b = b, a
-	}
-	p.segs[a].mu.Lock()
-	p.segs[b].mu.Lock()
-	defer p.segs[a].mu.Unlock()
-	defer p.segs[b].mu.Unlock()
-
 	src := &p.segs[sIdx]
+	src.mu.Lock()
 	srcB := src.buckets[k]
 	if srcB == nil || srcB.Empty() {
+		src.mu.Unlock()
 		return nil
 	}
-	dst := &p.segs[h.id]
-	dstB := dst.buckets[k]
-	if dstB == nil {
-		dstB = &segment.Deque[V]{}
-		dst.buckets[k] = dstB
-	}
-	moved := srcB.TakeInto(dstB, h.steal.Amount(srcB.Len(), max))
-	src.total -= moved
-	dst.total += moved
+	buf := srcB.TakeOut(h.stealBuf[:0], h.steal.Amount(srcB.Len(), max))
+	src.total -= len(buf)
 	if srcB.Empty() {
-		delete(src.buckets, k)
+		src.drop(k, srcB)
 	}
-	out := dstB.RemoveN(max)
-	dst.total -= len(out)
-	if dstB.Empty() {
-		delete(dst.buckets, k)
+	src.mu.Unlock()
+
+	moved := len(buf)
+	n := moved
+	if n > max {
+		n = max
 	}
+	// The caller receives the most recently transferred elements (the
+	// order a bucket pop would surface them); the surplus parks locally.
+	out := make([]V, n)
+	for i := 0; i < n; i++ {
+		out[i] = buf[moved-1-i]
+	}
+	if moved > n {
+		dst := &p.segs[h.id]
+		dst.mu.Lock()
+		dst.bucket(k).AddAll(buf[:moved-n])
+		dst.total += moved - n
+		dst.mu.Unlock()
+	}
+	clear(buf) // release element references for GC; the buffer itself is kept
+	h.stealBuf = buf[:0]
 	return out
 }
 
@@ -465,7 +474,7 @@ func (h *Handle[K, V]) takeLocalAny() (K, V, bool) {
 		if v, ok := b.Remove(); ok {
 			s.total--
 			if b.Empty() {
-				delete(s.buckets, k)
+				s.drop(k, b)
 			}
 			return k, v, true
 		}
@@ -475,8 +484,8 @@ func (h *Handle[K, V]) takeLocalAny() (K, V, bool) {
 	return zeroK, zeroV, false
 }
 
-// stealFrom steals half of segment sIdx's class-k bucket into the local
-// segment and returns one element.
+// stealFrom steals the policy-chosen share of segment sIdx's class-k
+// bucket into the local segment and returns one element.
 func (h *Handle[K, V]) stealFrom(sIdx int, k K) (V, bool) {
 	out := h.stealNFrom(sIdx, k, 1)
 	if len(out) == 0 {
@@ -487,43 +496,65 @@ func (h *Handle[K, V]) stealFrom(sIdx int, k K) (V, bool) {
 }
 
 // stealAnyFrom steals the policy-chosen share of some non-empty bucket of
-// segment sIdx.
+// segment sIdx, returning one element and parking the rest locally.
 func (h *Handle[K, V]) stealAnyFrom(sIdx int) (K, V, bool) {
-	var zeroK K
-	var zeroV V
 	p := h.pool
-	a, b := sIdx, h.id
-	if a > b {
-		a, b = b, a
-	}
-	p.segs[a].mu.Lock()
-	p.segs[b].mu.Lock()
-	defer p.segs[a].mu.Unlock()
-	defer p.segs[b].mu.Unlock()
-
 	src := &p.segs[sIdx]
-	for k, srcB := range src.buckets {
-		if srcB.Empty() {
-			continue
+	src.mu.Lock()
+	var key K
+	var srcB *segment.Deque[V]
+	for k, b := range src.buckets {
+		if !b.Empty() {
+			key, srcB = k, b
+			break
 		}
-		dst := &p.segs[h.id]
-		dstB := dst.buckets[k]
-		if dstB == nil {
-			dstB = &segment.Deque[V]{}
-			dst.buckets[k] = dstB
-		}
-		moved := srcB.TakeInto(dstB, h.steal.Amount(srcB.Len(), 1))
-		src.total -= moved
-		dst.total += moved
-		if srcB.Empty() {
-			delete(src.buckets, k)
-		}
-		v, _ := dstB.Remove()
-		dst.total--
-		if dstB.Empty() {
-			delete(dst.buckets, k)
-		}
-		return k, v, true
 	}
-	return zeroK, zeroV, false
+	if srcB == nil {
+		src.mu.Unlock()
+		var zeroK K
+		var zeroV V
+		return zeroK, zeroV, false
+	}
+	buf := srcB.TakeOut(h.stealBuf[:0], h.steal.Amount(srcB.Len(), 1))
+	src.total -= len(buf)
+	if srcB.Empty() {
+		src.drop(key, srcB)
+	}
+	src.mu.Unlock()
+
+	moved := len(buf)
+	v := buf[moved-1]
+	if moved > 1 {
+		dst := &p.segs[h.id]
+		dst.mu.Lock()
+		dst.bucket(key).AddAll(buf[:moved-1])
+		dst.total += moved - 1
+		dst.mu.Unlock()
+	}
+	clear(buf)
+	h.stealBuf = buf[:0]
+	return key, v, true
 }
+
+// keyedSubstrate adapts a keyed handle to engine.Substrate: each remove
+// operation installs its bucket probe (class-specific or any-class), and
+// the engine drives it in the sweep order. The keyed pool needs no
+// Enter/Exit bookkeeping — emptiness is decidable per class, so there is
+// no lookers count to maintain — and no hard stops.
+type keyedSubstrate struct {
+	probe func(sIdx int) int
+}
+
+var _ engine.Substrate = (*keyedSubstrate)(nil)
+
+// Probe implements engine.Substrate.
+func (s *keyedSubstrate) Probe(sIdx, _ int) int { return s.probe(sIdx) }
+
+// Stopped implements engine.Substrate.
+func (s *keyedSubstrate) Stopped() bool { return false }
+
+// Enter implements engine.Substrate.
+func (s *keyedSubstrate) Enter(int) {}
+
+// Exit implements engine.Substrate.
+func (s *keyedSubstrate) Exit() {}

@@ -82,3 +82,72 @@ func (c Clusters) Name() string {
 	}
 	return fmt.Sprintf("clusters-%d", size)
 }
+
+// NestedClusters models a three-level machine — boards of tightly-coupled
+// processors grouped into cabinets, cabinets linked by a slow interconnect
+// — the deeper-than-two-level architecture the hierarchical-steal
+// escalation ladder was built for but Clusters cannot express: processors
+// are grouped into inner clusters of Inner processors, inner clusters
+// into outer clusters of Outer processors, and references pay 1 hop
+// within an inner cluster, Mid hops within the outer cluster, and Far
+// hops across outer clusters. A hierarchical searcher on this topology
+// climbs three rings (board, cabinet, machine), so its escalation
+// threshold fires twice per fruitless search instead of once.
+type NestedClusters struct {
+	// Inner is the number of processors per inner cluster (>= 1; 0 is
+	// treated as 1).
+	Inner int
+	// Outer is the number of processors per outer cluster and must cover
+	// whole inner clusters; values smaller than Inner are treated as one
+	// inner cluster per outer cluster.
+	Outer int
+	// Mid is the hop distance between inner clusters of one outer
+	// cluster; 0 defaults to 2.
+	Mid int
+	// Far is the hop distance across outer clusters; 0 defaults to 4,
+	// echoing the Butterfly's measured remote/local ratio.
+	Far int
+}
+
+// Distance implements Topology: 0 locally, 1 within an inner cluster,
+// Mid (default 2) within an outer cluster, Far (default 4) across outer
+// clusters.
+func (c NestedClusters) Distance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	inner := c.Inner
+	if inner < 1 {
+		inner = 1
+	}
+	outer := c.Outer
+	if outer < inner {
+		outer = inner
+	}
+	if a/inner == b/inner {
+		return 1
+	}
+	if a/outer == b/outer {
+		if c.Mid > 0 {
+			return c.Mid
+		}
+		return 2
+	}
+	if c.Far > 0 {
+		return c.Far
+	}
+	return 4
+}
+
+// Name implements Topology.
+func (c NestedClusters) Name() string {
+	inner := c.Inner
+	if inner < 1 {
+		inner = 1
+	}
+	outer := c.Outer
+	if outer < inner {
+		outer = inner
+	}
+	return fmt.Sprintf("nested-%d-%d", inner, outer)
+}

@@ -129,6 +129,34 @@ func (d *Deque[T]) TakeInto(dst *Deque[T], k int) int {
 	return k
 }
 
+// TakeOut removes up to k elements from the head of d (the coldest ones,
+// the ones a steal takes), appending them to buf and returning the
+// extended slice. It moves exactly the elements TakeInto(dst, k) would,
+// in the same order, but into a caller-owned buffer instead of another
+// segment — the primitive behind short-lock-hold steals: the thief
+// reserves the victim's share into its private buffer under the victim's
+// lock alone, then deposits the surplus into its own segment after
+// unlocking. Passing a buffer with spare capacity makes TakeOut
+// allocation-free.
+func (d *Deque[T]) TakeOut(buf []T, k int) []T {
+	if k > d.n {
+		k = d.n
+	}
+	var zero T
+	for i := 0; i < k; i++ {
+		buf = append(buf, d.buf[d.head])
+		d.buf[d.head] = zero
+		d.head = (d.head + 1) % len(d.buf)
+	}
+	if k > 0 {
+		d.n -= k
+		if d.n == 0 {
+			d.head = 0
+		}
+	}
+	return buf
+}
+
 // moveInto transfers take elements from the head of d to dst.
 func (d *Deque[T]) moveInto(dst *Deque[T], take int) {
 	dst.grow(take)

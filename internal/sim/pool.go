@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"pools/internal/engine"
 	"pools/internal/metrics"
 	"pools/internal/numa"
 	"pools/internal/policy"
@@ -41,8 +42,7 @@ type PoolConfig struct {
 // (counter-only segments) corresponds to Pool[Token].
 type Pool[T any] struct {
 	cfg    PoolConfig
-	pol    policy.Set      // resolved policies (no nil slots)
-	dir    policy.Director // size-aware placement, if Policies.Place is one
+	pol    policy.Set // resolved policies (no nil slots)
 	leaves int
 
 	segs    []segment.Deque[T]
@@ -86,9 +86,6 @@ func NewPool[T any](cfg PoolConfig) *Pool[T] {
 		segRes:       make([]Resource, cfg.Procs),
 		counter:      Resource{Name: "lookers"},
 		participants: cfg.Procs,
-	}
-	if d, ok := pol.Place.(policy.Director); ok {
-		p.dir = d
 	}
 	for i := range p.segRes {
 		p.segRes[i].Name = fmt.Sprintf("segment-%d", i)
@@ -163,33 +160,48 @@ func (p *Pool[T]) recordTrace(env *Env, s int) {
 }
 
 // Proc is one virtual processor's attachment to a simulated pool,
-// analogous to core.Handle.
+// analogous to core.Handle. The search-steal protocol lives in
+// internal/engine; the Proc supplies the substrate (virtual-time charges
+// against simulated resources) and keeps the per-operation accounting.
 type Proc[T any] struct {
-	pool     *Pool[T]
-	env      *Env
-	id       int
-	ctl      policy.Controller  // this processor's controller (own instance under per-handle sets)
-	steal    policy.StealAmount // this processor's steal amount
-	searcher search.Searcher
-	stats    metrics.PoolStats
-	world    simWorld[T]
+	pool  *Pool[T]
+	env   *Env
+	id    int
+	eng   *engine.Engine
+	steal policy.StealAmount // resolved steal amount, cached off the engine for the probe loop
+	stats metrics.PoolStats
+	sub   simSubstrate[T]
 }
 
 // Proc binds virtual processor env to segment env.ID(). Call once per
 // processor, inside or before its body.
 func (p *Pool[T]) Proc(env *Env) *Proc[T] {
 	id := env.ID()
-	ctl, steal := p.pol.ForHandle(id)
-	pr := &Proc[T]{
-		pool:     p,
-		env:      env,
-		id:       id,
-		ctl:      ctl,
-		steal:    steal,
-		searcher: policy.BuildSearcher(p.pol.Order, id, p.cfg.Procs, rng.SubSeed(p.cfg.Seed, id), ctl),
-	}
-	pr.world = simWorld[T]{proc: pr}
+	pr := &Proc[T]{pool: p, env: env, id: id}
+	pr.sub.proc = pr
+	pr.eng = engine.New(engine.Config{
+		Self:      id,
+		Segments:  p.cfg.Procs,
+		Policies:  p.pol,
+		Seed:      rng.SubSeed(p.cfg.Seed, id),
+		Topology:  p.cfg.Costs.Topo,
+		Stats:     &pr.stats,
+		SizeProbe: pr.sizeProbe(),
+	}, &pr.sub, engine.NewLaps(p.cfg.Procs, lapsState[T]{p}))
+	pr.steal = pr.eng.StealAmount()
 	return pr
+}
+
+// sizeProbe builds the Director size-probe closure once per processor: on
+// the simulated machine, probing for the emptiest segment visibly costs
+// virtual time, which is the trade-off the locality experiments measure.
+func (pr *Proc[T]) sizeProbe() func(s int) int {
+	return func(s int) int {
+		p := pr.pool
+		pr.env.Charge(&p.segRes[s], p.cfg.Costs.Cost(numa.AccessProbe, pr.id, s))
+		pr.eng.NoteProbe(s)
+		return p.segs[s].Len()
+	}
 }
 
 // Stats returns the processor's operation statistics collector.
@@ -198,31 +210,23 @@ func (pr *Proc[T]) Stats() *metrics.PoolStats { return &pr.stats }
 // observe feeds one remove outcome to this processor's controller, if
 // any (its own instance under a per-handle set, the shared one
 // otherwise) — mirroring core.Handle.observe exactly.
-func (pr *Proc[T]) observe(fb policy.Feedback) {
-	if pr.ctl != nil {
-		pr.ctl.Observe(fb)
-	}
-}
+func (pr *Proc[T]) observe(fb policy.Feedback) { pr.eng.Observe(fb) }
 
 // BatchSize returns the batch size this processor's controller recommends
 // for a workload configured at current, or current itself without a
 // controller — the simulated analogue of core.Handle.BatchSize.
-func (pr *Proc[T]) BatchSize(current int) int {
-	if pr.ctl == nil {
-		return current
-	}
-	return pr.ctl.BatchSize(current)
-}
+func (pr *Proc[T]) BatchSize(current int) int { return pr.eng.BatchSize(current) }
 
 // ControlSample reports the controller's current operating point for
 // trajectory traces: the steal fraction in permil and the batch size it
 // would recommend for the configured batch. ok is false without a
 // controller.
 func (pr *Proc[T]) ControlSample(configured int) (fracPermil, batch int64, ok bool) {
-	if pr.ctl == nil {
+	ctl := pr.eng.Controller()
+	if ctl == nil {
 		return 0, 0, false
 	}
-	return int64(pr.ctl.StealFraction()*1000 + 0.5), int64(pr.ctl.BatchSize(configured)), true
+	return int64(ctl.StealFraction()*1000 + 0.5), int64(ctl.BatchSize(configured)), true
 }
 
 // Retire withdraws this processor from the participant count when its body
@@ -233,44 +237,13 @@ func (pr *Proc[T]) Retire() {
 	}
 }
 
-// noteProbe classifies one remote segment probe against the cost model's
-// hop topology for the cross-cluster accounting (no-op for local probes).
-func (pr *Proc[T]) noteProbe(s int) {
-	if s == pr.id {
-		return
-	}
-	t := pr.pool.cfg.Costs.Topo
-	pr.stats.RecordProbe(t != nil && t.Distance(pr.id, s) > 1)
-}
-
-// directTarget consults the Director placement (when the pool has one)
-// for where an add of n elements should land, charging one AccessProbe
-// per examined segment — on the simulated machine, probing for the
-// emptiest segment visibly costs virtual time, which is the trade-off
-// the locality experiments measure.
-func (pr *Proc[T]) directTarget(n int) int {
-	p := pr.pool
-	if p.dir == nil {
-		return pr.id
-	}
-	t := p.dir.Direct(pr.id, p.cfg.Procs, n, func(s int) int {
-		pr.env.Charge(&p.segRes[s], p.cfg.Costs.Cost(numa.AccessProbe, pr.id, s))
-		pr.noteProbe(s)
-		return p.segs[s].Len()
-	})
-	if t < 0 || t >= p.cfg.Procs {
-		return pr.id
-	}
-	return t
-}
-
 // Put adds an element to the local segment — or to the segment a
 // Director placement selects — charging the add cost at the local or
 // remote rate accordingly.
 func (pr *Proc[T]) Put(v T) {
 	p := pr.pool
 	start := pr.env.Now()
-	target := pr.directTarget(1)
+	target := pr.eng.DirectTarget(1)
 	pr.env.Charge(&p.segRes[target], p.cfg.Costs.Cost(numa.AccessAdd, pr.id, target))
 	p.segs[target].Add(v)
 	p.emptyAbort = false // elements exist again: searches may proceed
@@ -289,7 +262,7 @@ func (pr *Proc[T]) PutAll(vs []T) {
 	}
 	p := pr.pool
 	start := pr.env.Now()
-	target := pr.directTarget(len(vs))
+	target := pr.eng.DirectTarget(len(vs))
 	pr.env.Charge(&p.segRes[target], p.cfg.Costs.Cost(numa.AccessAdd, pr.id, target))
 	for _, v := range vs {
 		p.segs[target].Add(v)
@@ -318,14 +291,14 @@ func (pr *Proc[T]) GetN(max int) []T {
 	}
 
 	searchStart := pr.env.Now()
-	res := pr.searchSteal(max)
+	res := pr.eng.Search(max)
 	if res.Got == 0 {
 		pr.stats.RecordAbort(pr.env.Now() - start)
 		pr.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: pr.env.Now() - start})
 		return nil
 	}
 	out := make([]T, 1, max)
-	out[0] = pr.world.takeReserved()
+	out[0] = pr.sub.takeReserved()
 	if max > 1 {
 		out = append(out, p.segs[pr.id].RemoveN(max-1)...)
 		p.recordTrace(pr.env, pr.id)
@@ -351,55 +324,31 @@ func (pr *Proc[T]) Get() (T, bool) {
 	}
 
 	searchStart := pr.env.Now()
-	res := pr.searchSteal(1)
+	res := pr.eng.Search(1)
 	if res.Got == 0 {
 		pr.stats.RecordAbort(pr.env.Now() - start)
 		pr.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: pr.env.Now() - start})
 		return zero, false
 	}
-	v := pr.world.takeReserved()
+	v := pr.sub.takeReserved()
 	pr.stats.RecordStealRemove(pr.env.Now()-start, pr.env.Now()-searchStart, res.Examined, res.Got)
 	pr.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: pr.env.Now() - start})
 	return v, true
 }
 
-// searchSteal is the slow path shared by Get and GetN: bump the shared
-// lookers counter (a remote shared object on the Butterfly), search, and
-// drop the counter, charging both shared accesses. want is the
-// requesting operation's appetite, consulted by the StealAmount policy.
-// On success the stolen elements are in the local segment with one
-// reserved in pr.world.
-func (pr *Proc[T]) searchSteal(want int) search.Result {
-	p := pr.pool
-	pr.world.resetCoverage()
-	pr.world.want = want
-	pr.env.Charge(&p.counter, p.cfg.Costs.Cost(numa.AccessShared, pr.id, -1))
-	p.lookers++
-	res := pr.searcher.Search(&pr.world)
-	pr.env.Charge(&p.counter, p.cfg.Costs.Cost(numa.AccessShared, pr.id, -1))
-	p.lookers--
-	return res
-}
-
-// simWorld adapts a Proc to search.World / search.TreeWorld, charging
-// virtual time per access.
-type simWorld[T any] struct {
+// simSubstrate adapts a Proc to engine.Substrate / engine.TreeSubstrate:
+// the typed reserve/transfer half of the steal protocol, charging virtual
+// time per access. The fruitless-lap accounting, probe classification,
+// and the livelock rule live in the engine (engine.Laps).
+type simSubstrate[T any] struct {
 	proc     *Proc[T]
 	reserved T
 	has      bool
-	want     int // the in-flight operation's appetite (Get: 1, GetN: max)
-	failed   int // consecutive fruitless probes in the current search
 }
 
-var _ search.TreeWorld = (*simWorld[Token])(nil)
+var _ engine.TreeSubstrate = (*simSubstrate[Token])(nil)
 
-// resetCoverage clears the fruitless-probe count.
-func (w *simWorld[T]) resetCoverage() { w.failed = 0 }
-
-// sawEmpty records a fruitless probe.
-func (w *simWorld[T]) sawEmpty(int) { w.failed++ }
-
-func (w *simWorld[T]) takeReserved() T {
+func (w *simSubstrate[T]) takeReserved() T {
 	var zero T
 	v := w.reserved
 	w.reserved = zero
@@ -407,63 +356,52 @@ func (w *simWorld[T]) takeReserved() T {
 	return v
 }
 
-// Segments implements search.World.
-func (w *simWorld[T]) Segments() int { return w.proc.pool.cfg.Procs }
-
-// Self implements search.World.
-func (w *simWorld[T]) Self() int { return w.proc.id }
-
-// Aborted implements search.World: all participants searching (the
-// paper's shared-count livelock rule) or an external AbortAll. The
-// all-searching observation is latched so that every concurrent search
-// aborts, not just the process that made the observation (otherwise the
-// first abort lowers the count and strands the rest); the next add clears
-// the latch.
-func (w *simWorld[T]) Aborted() bool {
-	p := w.proc.pool
-	if p.drainAbort || p.emptyAbort {
-		return true
-	}
-	// All participants searching certifies emptiness only once this
-	// searcher has also invested a full lap's worth of fruitless probes —
-	// the paper's processes keep searching between checks of the shared
-	// count, and charging that effort is what reproduces the measured
-	// cost of sparse-mix aborts. (The real pool in internal/core uses an
-	// exact coverage rule instead; a simulation trial tolerates the rare
-	// spurious abort that consecutive counting allows, a 5000-op library
-	// run must not.)
-	if p.lookers >= p.participants && w.failed >= p.cfg.Procs {
-		p.emptyAbort = true
-		return true
-	}
-	return false
+// Enter implements engine.Substrate: bump the shared lookers counter (a
+// remote shared object on the Butterfly), charging the access.
+func (w *simSubstrate[T]) Enter(int) {
+	pr := w.proc
+	p := pr.pool
+	pr.env.Charge(&p.counter, p.cfg.Costs.Cost(numa.AccessShared, pr.id, -1))
+	p.lookers++
 }
 
-// TrySteal implements search.World: probe (remote) segment s and move the
-// StealAmount policy's share into the local segment, reserving one
+// Exit implements engine.Substrate.
+func (w *simSubstrate[T]) Exit() {
+	pr := w.proc
+	p := pr.pool
+	pr.env.Charge(&p.counter, p.cfg.Costs.Cost(numa.AccessShared, pr.id, -1))
+	p.lookers--
+}
+
+// Stopped implements engine.Substrate: an external AbortAll, or the
+// latched all-searching observation (engine.Laps latches it so that every
+// concurrent search aborts, not just the process that made the
+// observation; the next add clears the latch).
+func (w *simSubstrate[T]) Stopped() bool {
+	p := w.proc.pool
+	return p.drainAbort || p.emptyAbort
+}
+
+// Probe implements engine.Substrate: probe (remote) segment s and move
+// the StealAmount policy's share into the local segment, reserving one
 // element.
-func (w *simWorld[T]) TrySteal(s int) int {
+func (w *simSubstrate[T]) Probe(s, want int) int {
 	pr := w.proc
 	p := pr.pool
 	env := pr.env
 	env.Charge(&p.segRes[s], p.cfg.Costs.Cost(numa.AccessProbe, pr.id, s))
-	pr.noteProbe(s)
 
 	if s == pr.id {
 		n := p.segs[s].Len()
 		if n > 0 {
 			w.reserved, _ = p.segs[s].Remove()
 			w.has = true
-			w.resetCoverage()
 			p.recordTrace(env, s)
-		} else {
-			w.sawEmpty(s)
 		}
 		return n
 	}
 	n := p.segs[s].Len()
 	if n == 0 {
-		w.sawEmpty(s)
 		return 0
 	}
 	env.Charge(&p.segRes[s], p.cfg.Costs.Cost(numa.AccessSplit, pr.id, s))
@@ -473,34 +411,46 @@ func (w *simWorld[T]) TrySteal(s int) int {
 	// fruitless probe — it must not touch the local segment, or it would
 	// reserve an unrelated element (a directed add that landed locally
 	// mid-search) and lose it when a later steal overwrites the slot.
-	moved := p.segs[s].TakeInto(&p.segs[pr.id], pr.steal.Amount(n, w.want))
+	moved := p.segs[s].TakeInto(&p.segs[pr.id], pr.steal.Amount(n, want))
 	if moved == 0 {
-		w.sawEmpty(s)
 		return 0
 	}
 	w.reserved, _ = p.segs[pr.id].Remove()
 	w.has = true
-	w.resetCoverage()
 	p.recordTrace(env, s)
 	p.recordTrace(env, pr.id)
 	return moved
 }
 
-// NumLeaves implements search.TreeWorld.
-func (w *simWorld[T]) NumLeaves() int { return w.proc.pool.leaves }
+// NumLeaves implements engine.TreeSubstrate.
+func (w *simSubstrate[T]) NumLeaves() int { return w.proc.pool.leaves }
 
-// RoundOf implements search.TreeWorld, charging a (remote) node access.
-func (w *simWorld[T]) RoundOf(n int) uint64 {
+// RoundOf implements engine.TreeSubstrate, charging a (remote) node
+// access.
+func (w *simSubstrate[T]) RoundOf(n int) uint64 {
 	p := w.proc.pool
 	w.proc.env.Charge(&p.nodeRes[n], p.cfg.Costs.Cost(numa.AccessNode, w.proc.id, -1))
 	return p.rounds[n]
 }
 
-// MaxRound implements search.TreeWorld.
-func (w *simWorld[T]) MaxRound(n int, r uint64) {
+// MaxRound implements engine.TreeSubstrate.
+func (w *simSubstrate[T]) MaxRound(n int, r uint64) {
 	p := w.proc.pool
 	w.proc.env.Charge(&p.nodeRes[n], p.cfg.Costs.Cost(numa.AccessNode, w.proc.id, -1))
 	if p.rounds[n] < r {
 		p.rounds[n] = r
 	}
 }
+
+// lapsState exposes the shared evidence engine.Laps consults: the
+// all-searching observation over the participant count, and the latch
+// that makes every concurrent search abort on it.
+type lapsState[T any] struct{ p *Pool[T] }
+
+var _ engine.LapsState = lapsState[Token]{}
+
+// AllSearching implements engine.LapsState.
+func (l lapsState[T]) AllSearching() bool { return l.p.lookers >= l.p.participants }
+
+// LatchEmpty implements engine.LapsState.
+func (l lapsState[T]) LatchEmpty() { l.p.emptyAbort = true }

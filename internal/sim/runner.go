@@ -30,14 +30,17 @@ type RunConfig struct {
 }
 
 // ControllerTrace is one processor's controller trajectory over virtual
-// time: the steal fraction (in permil, 500 = the paper's steal-half) and
-// the recommended batch size, sampled after every operation the
-// processor completes. Under a per-handle policy set each processor
-// traces its own controller; under a pool-wide set all processors trace
-// the shared one.
+// time: the steal fraction (in permil, 500 = the paper's steal-half), the
+// recommended batch size, and the processor's cumulative cross-cluster
+// probe fraction (permil; 0 without a hop topology), sampled after every
+// operation the processor completes. Under a per-handle policy set each
+// processor traces its own controller; under a pool-wide set all
+// processors trace the shared one — the cross-probe fraction is always
+// the processor's own.
 type ControllerTrace struct {
-	FracPermil metrics.Trace
-	Batch      metrics.Trace
+	FracPermil  metrics.Trace
+	Batch       metrics.Trace
+	CrossPermil metrics.Trace
 }
 
 // RunResult carries everything the paper measures from one trial.
@@ -105,6 +108,8 @@ func Run(cfg RunConfig) RunResult {
 				if frac, batch, ok := pr.ControlSample(wl.BatchSize); ok {
 					controls[id].FracPermil.Record(env.Now(), frac)
 					controls[id].Batch.Record(env.Now(), batch)
+					cross := int64(pr.Stats().CrossProbeFraction()*1000 + 0.5)
+					controls[id].CrossPermil.Record(env.Now(), cross)
 				}
 			}
 			for {
