@@ -72,9 +72,11 @@ bench-baseline:
 docs-check:
 	test -f docs/ARCHITECTURE.md
 	test -f docs/EXPERIMENTS.md
+	test -f docs/WORKLOADS.md
 	grep -q "docs/ARCHITECTURE.md" README.md
 	grep -q "docs/EXPERIMENTS.md" README.md
-	$(GO) run ./internal/tools/doclint ./internal/policy ./internal/numa ./internal/engine
+	grep -q "docs/WORKLOADS.md" README.md
+	$(GO) run ./internal/tools/doclint ./internal/policy ./internal/numa ./internal/engine ./internal/workload
 	$(GO) build -tags docsexamples ./internal/docexamples
 
 ci: build vet test race fuzz-smoke bench-smoke cover policy-smoke docs-check bench-check

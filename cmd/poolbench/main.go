@@ -12,9 +12,11 @@
 //	poolbench -exp hier -csv            # hierarchical cluster-first stealing
 //	poolbench -exp keyedloc -csv        # keyed sweep orders on clusters
 //	poolbench -exp trace -csv           # per-handle controller trajectories
+//	poolbench -exp tenants -csv         # open-loop multi-tenant tail latency
 //
 // Experiments: fig2, fig3, fig4, fig5, fig6, fig7, algos, arrange, delay,
-// steal, roles, burst, policy, locality, hier, keyedloc, trace, app, all.
+// steal, roles, burst, policy, locality, hier, keyedloc, trace, tenants,
+// app, all.
 // See docs/EXPERIMENTS.md for what each reproduces and its expected shape.
 package main
 
@@ -39,11 +41,11 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("poolbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|policy|locality|hier|keyedloc|trace|app|all")
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|policy|locality|hier|keyedloc|trace|tenants|app|all")
 	trials := fs.Int("trials", workload.PaperTrials, "trials averaged per data point")
 	seed := fs.Uint64("seed", 1989, "master seed")
 	ops := fs.Int("ops", workload.PaperTotalOps, "operations per trial")
-	fill := fs.Int("fill", workload.PaperInitialElements, "initial pool elements")
+	fill := fs.Int("fill", 0, "initial pool elements (0 = experiment default: the paper's 320, except the thin-fill tenants sweep)")
 	procs := fs.Int("procs", workload.PaperProcs, "processors/segments")
 	depth := fs.Int("depth", 3, "tic-tac-toe expansion depth (3 = paper's 249,984 positions)")
 	csv := fs.Bool("csv", false, "append machine-readable CSV for fig2, fig7, burst, and policy")
@@ -171,6 +173,14 @@ var experiments = []experiment{
 		out := harness.RenderControlTrace(res)
 		if csv {
 			out += "\n" + harness.ControlTraceCSV(res)
+		}
+		return out
+	}},
+	{"tenants", "open-loop multi-tenant arrivals: per-tenant sojourn percentiles and steal interference", func(cfg harness.Config, _ int, csv bool) string {
+		rows := harness.TenantSweep(cfg, harness.DefaultTenantCounts(), harness.DefaultTenantSkews())
+		out := harness.RenderTenants(rows)
+		if csv {
+			out += "\n" + harness.TenantsCSV(rows)
 		}
 		return out
 	}},

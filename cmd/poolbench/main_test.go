@@ -127,6 +127,23 @@ func TestRunKeyedLocExperiment(t *testing.T) {
 	}
 }
 
+func TestRunTenantsExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "tenants", "-trials", "1", "-ops", "1500", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"## tenants", "worst-tenant p99 sojourn",
+		"tenants,skew,tenant,procs,lambda_per_proc,p50_us,p99_us,p999_us,steal_interference,ops",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("tenants output missing %q", want)
+		}
+	}
+}
+
 func TestRunTraceExperiment(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-exp", "trace", "-trials", "1", "-ops", "1200", "-fill", "96", "-csv"}, &out)

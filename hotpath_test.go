@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"pools"
+	"pools/internal/metrics"
 )
 
 // requireZeroAllocs runs f through testing.AllocsPerRun and fails on any
@@ -50,6 +51,21 @@ func TestHotPathAllocFree(t *testing.T) {
 	requireZeroAllocs(t, "core stats+topology Put/Get", func() {
 		hs.Put(1)
 		hs.Get()
+	})
+	// Every stats-on operation also lands in the per-op latency histogram
+	// (three atomic adds into a fixed bucket array — covered by the 0
+	// allocs/op assertion above); confirm the recordings are visible on
+	// the merged pool stats.
+	if st := ps.Stats(); st.OpLat.N() == 0 {
+		t.Error("stats-on pool recorded no per-op latencies")
+	}
+	// And the histogram itself, bare: Record must stay allocation-free at
+	// any magnitude, including the saturating top bucket.
+	var hist metrics.LatencyHist
+	v := int64(1)
+	requireZeroAllocs(t, "LatencyHist.Record", func() {
+		hist.Record(v)
+		v <<= 1
 	})
 
 	// A Director placement probes sizes through the engine's cached

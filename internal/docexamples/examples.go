@@ -34,6 +34,38 @@ func readmeQuickstart(workerID int, task Task, tasks []Task) {
 		Place: pools.EmptiestPlacement{},
 	}})
 	_ = p3
+
+	// On clustered machines, go further: exhaust your own cluster before
+	// crossing (with an online-tuned escalation threshold), weigh emptiness
+	// against hop cost on the add side, and count cross-cluster probes:
+	topo := pools.ClusterTopology{Size: 4}
+	p4, _ := pools.New[Task](pools.Options{Segments: 16, Topology: topo, Policies: pools.PolicySet{
+		Order: pools.HierarchicalVictimOrder{Topo: topo},
+		Place: pools.NearestEmptiestPlacement{Model: costs},
+	}})
+	_ = p4
+
+	// Multi-tenant sharing: partition segments among tenants, confine each
+	// tenant's adds to its own block, and measure cross-tenant theft:
+	tm := pools.EvenTenants(16, 4)
+	p5, _ := pools.New[Task](pools.Options{Segments: 16, CollectStats: true,
+		Policies: pools.PolicySet{Place: pools.TenantFairPlacement{Map: tm}}})
+	st := p5.Stats() // st.StealInterference() is the cross-tenant fraction
+	_ = st
+}
+
+// readmeDeprecatedAliases mirrors the README fence mapping the deprecated
+// Options fields onto their policy-set replacements.
+func readmeDeprecatedAliases() {
+	// Options{Steal: pools.StealOne}  ->
+	p6, _ := pools.New[Task](pools.Options{Segments: 8,
+		Policies: pools.PolicySet{Steal: pools.StealOneAmount{}}})
+	// (StealHalf is the default: leave Policies.Steal nil, or set pools.StealHalfAmount{}.)
+
+	// Options{DirectedAdds: true}  ->
+	p7, _ := pools.New[Task](pools.Options{Segments: 8,
+		Policies: pools.PolicySet{Place: pools.GiftAllPlacement{}}})
+	_, _ = p6, p7
 }
 
 // packageDocExamples mirrors the pools package documentation fences
@@ -71,4 +103,5 @@ func packageDocExamples(workerID int, task Task, tasks []Task) {
 }
 
 var _ = readmeQuickstart
+var _ = readmeDeprecatedAliases
 var _ = packageDocExamples

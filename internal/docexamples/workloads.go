@@ -1,0 +1,21 @@
+//go:build docsexamples
+
+package docexamples
+
+import "pools"
+
+// workloadsTenantQuickstart mirrors the docs/WORKLOADS.md "Multi-tenant
+// open loop" fence.
+func workloadsTenantQuickstart() {
+	tm := pools.EvenTenants(16, 4) // 4 tenants, 4 segments each
+	p, _ := pools.New[Task](pools.Options{
+		Segments: 16, CollectStats: true,
+		Policies: pools.PolicySet{Place: pools.TenantFairPlacement{Map: tm}},
+	})
+	// ... after running:
+	st := p.Stats()
+	_ = st.StealInterference() // foreign fraction of classified steals
+	_ = st.OpLat.P99()         // per-op latency, µs (wall-clock stats)
+}
+
+var _ = workloadsTenantQuickstart

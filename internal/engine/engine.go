@@ -128,6 +128,7 @@ type Engine struct {
 	sizeFn   func(s int) int
 	stats    *metrics.PoolStats
 	cross    []bool // cross[s]: a probe of s leaves the cluster (nil = no topology)
+	foreign  []bool // foreign[s]: segment s belongs to another tenant (nil = no partition)
 	w        world
 }
 
@@ -159,6 +160,13 @@ func New(cfg Config, sub Substrate, term Termination) *Engine {
 			e.cross[s] = s != cfg.Self && cfg.Topology.Distance(cfg.Self, s) > 1
 		}
 	}
+	if m := groupedOf(cfg.Policies); m != nil {
+		mine := m.TenantOf(cfg.Self)
+		e.foreign = make([]bool, cfg.Segments)
+		for s := 0; s < cfg.Segments; s++ {
+			e.foreign[s] = m.TenantOf(s) != mine
+		}
+	}
 	e.w = world{e: e, sub: sub, term: term}
 	if ts, ok := sub.(TreeSubstrate); ok {
 		e.w.tree = ts
@@ -166,7 +174,20 @@ func New(cfg Config, sub Substrate, term Termination) *Engine {
 	return e
 }
 
-// Controller returns the handle's resolved controller (nil when the
+// groupedOf extracts a tenant partition from the policy set, consulting
+// the Placement first and the VictimOrder second (either slot may carry
+// policy.Grouped). Nil when the set is tenant-blind.
+func groupedOf(set policy.Set) policy.TenantMap {
+	if g, ok := set.Place.(policy.Grouped); ok {
+		return g.Partition()
+	}
+	if g, ok := set.Order.(policy.Grouped); ok {
+		return g.Partition()
+	}
+	return nil
+}
+
+// Controller returns the controller resolved for this handle (nil when the
 // policy set has none), for observability and trajectory traces.
 func (e *Engine) Controller() policy.Controller { return e.ctl }
 
@@ -257,11 +278,15 @@ func (w *world) Segments() int { return w.e.segments }
 func (w *world) Self() int { return w.e.self }
 
 // TrySteal implements search.World: delegate the probe to the substrate,
-// classify it, and report the outcome to the termination rule.
+// classify it (near/cross-cluster, and same/foreign tenant when the policy
+// set carries a partition), and report the outcome to the termination rule.
 func (w *world) TrySteal(s int) int {
 	got := w.sub.Probe(s, w.want)
 	w.e.NoteProbe(s)
 	if got > 0 {
+		if s != w.e.self && w.e.foreign != nil && w.e.stats != nil {
+			w.e.stats.RecordStealVictim(w.e.foreign[s])
+		}
 		w.term.SawProgress()
 	} else {
 		w.term.SawEmpty(s)

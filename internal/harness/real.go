@@ -46,6 +46,10 @@ type RealRunResult struct {
 	Stats     metrics.PoolStats
 	Elapsed   time.Duration
 	Remaining int
+	// Sojourns are per-worker sojourn-time histograms (completion minus
+	// scheduled arrival, wall-clock µs) under the OpenLoop model; nil for
+	// closed-loop models.
+	Sojourns []metrics.LatencyHist
 }
 
 // RealRun executes one trial with real goroutines and returns its
@@ -76,6 +80,10 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 	}
 
 	budget := workload.NewBudget(wl.TotalOps)
+	var sojourns []metrics.LatencyHist
+	if wl.Model == workload.OpenLoop {
+		sojourns = make([]metrics.LatencyHist, wl.Procs)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for id := 0; id < wl.Procs; id++ {
@@ -84,6 +92,40 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 			defer wg.Done()
 			h := p.Handle(id)
 			ch := workload.NewChooser(wl, id, cfg.Seed)
+			if wl.Model == workload.OpenLoop {
+				// Open loop on the wall clock: claim the budget first (so
+				// exhaustion never waits out one more arrival gap), spin to
+				// the scheduled arrival, run the op, then busy-spin the
+				// drawn service time. Sojourn is measured from the
+				// scheduled arrival, so a backlogged worker accrues its
+				// queueing delay.
+				gen := wl.ArrivalsFor(id).Gen(id, cfg.Seed)
+				var arrival int64
+				for budget.TryClaim() {
+					gap, svc := gen.Next()
+					arrival += gap
+					for time.Since(start).Microseconds() < arrival {
+						runtime.Gosched()
+					}
+					if ch.Next() == metrics.OpAdd {
+						h.Put(0)
+					} else {
+						h.Get()
+					}
+					if svc > 0 {
+						until := arrival + svc
+						if now := time.Since(start).Microseconds(); now > arrival {
+							until = now + svc
+						}
+						for time.Since(start).Microseconds() < until {
+							runtime.Gosched()
+						}
+					}
+					sojourns[id].Record(time.Since(start).Microseconds() - arrival)
+				}
+				h.Close()
+				return
+			}
 			if wl.Model == workload.Burst {
 				batch := make([]int, wl.BatchSize)
 				for {
@@ -136,6 +178,7 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 		Stats:     p.Stats(),
 		Elapsed:   elapsed,
 		Remaining: p.Len(),
+		Sojourns:  sojourns,
 	}, nil
 }
 

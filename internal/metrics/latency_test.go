@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLatencyHistEmpty(t *testing.T) {
+	var h LatencyHist
+	if h.N() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty hist: N=%d Mean=%v, want zeros", h.N(), h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestLatencyHistEmptyMerge(t *testing.T) {
+	var a, b LatencyHist
+	a.Record(100)
+	a.Record(200)
+	// Merging an empty histogram is a no-op.
+	before := a
+	a.Merge(&b)
+	if a != before {
+		t.Error("merging an empty histogram changed the receiver")
+	}
+	// Merging into an empty histogram copies the source exactly.
+	b.Merge(&a)
+	if b != a {
+		t.Error("merge into empty receiver differs from source")
+	}
+	if b.N() != 2 || b.Mean() != 150 {
+		t.Errorf("merged: N=%d Mean=%v, want 2 and 150", b.N(), b.Mean())
+	}
+}
+
+func TestLatencyHistNegativeAndZero(t *testing.T) {
+	var h LatencyHist
+	h.Record(-50) // clamps to 0
+	h.Record(0)
+	if h.N() != 2 || h.Mean() != 0 {
+		t.Fatalf("N=%d Mean=%v, want 2 and 0", h.N(), h.Mean())
+	}
+	if got := h.Quantile(1); got != 0 {
+		t.Errorf("all-zero Quantile(1) = %v, want 0", got)
+	}
+}
+
+func TestLatencyHistSaturation(t *testing.T) {
+	// Everything at or above 2^39 lands in the last bucket; quantiles
+	// report that bucket's edges rather than overflowing.
+	var h LatencyHist
+	lo := float64(int64(1) << (LatBuckets - 2)) // last bucket's lower edge
+	for _, v := range []int64{1 << 39, 1 << 50, 1<<63 - 1} {
+		h.Record(v)
+	}
+	if h.N() != 3 {
+		t.Fatalf("N=%d, want 3", h.N())
+	}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		got := h.Quantile(q)
+		if got < lo || got > 2*lo {
+			t.Errorf("saturated Quantile(%v) = %v, want within [%v, %v]", q, got, lo, 2*lo)
+		}
+	}
+}
+
+func TestLatencyHistQuantileInterpolation(t *testing.T) {
+	// 50 observations in bucket [2,4), 50 in bucket [1024,2048): the
+	// median rank lands exactly on the low bucket's last observation, so
+	// interpolation must return that bucket's upper edge, not jump to the
+	// high bucket.
+	var h LatencyHist
+	for i := 0; i < 50; i++ {
+		h.Record(2)
+		h.Record(1024)
+	}
+	if got := h.Quantile(0.5); got != 4 {
+		t.Errorf("Quantile(0.5) = %v, want the low bucket's upper edge 4", got)
+	}
+	if got := h.Quantile(0.25); got < 2 || got > 4 {
+		t.Errorf("Quantile(0.25) = %v, want within [2,4]", got)
+	}
+	if got := h.Quantile(0.75); got < 1024 || got > 2048 {
+		t.Errorf("Quantile(0.75) = %v, want within [1024,2048]", got)
+	}
+	if got := h.Quantile(1); got != 2048 {
+		t.Errorf("Quantile(1) = %v, want the high bucket's upper edge 2048", got)
+	}
+	// Monotonic in q across the boundary.
+	prev := 0.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotonic: q=%v gave %v after %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLatencyHistConcurrentRecordMerge(t *testing.T) {
+	// Record concurrently with report-side merges and quantile reads (the
+	// documented contract); run under -race this validates the atomics.
+	const recorders, perRecorder = 4, 2000
+	var src [recorders]LatencyHist
+	var wg sync.WaitGroup
+	for r := 0; r < recorders; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perRecorder; i++ {
+				src[r].Record(int64(i % 1000))
+			}
+		}(r)
+	}
+	for i := 0; i < 20; i++ {
+		var acc LatencyHist
+		for r := range src {
+			acc.Merge(&src[r])
+		}
+		_ = acc.P99()
+	}
+	wg.Wait()
+	var final LatencyHist
+	for r := range src {
+		final.Merge(&src[r])
+	}
+	if want := int64(recorders * perRecorder); final.N() != want {
+		t.Errorf("final merged N = %d, want %d", final.N(), want)
+	}
+	if p := final.P50(); p < 256 || p > 1024 {
+		t.Errorf("P50 = %v, want within [256,1024] for uniform 0..999", p)
+	}
+}

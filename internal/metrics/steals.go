@@ -60,6 +60,21 @@ type PoolStats struct {
 	// dominant cost on loosely-coupled machines.
 	RemoteProbes int64 // probes of segments other than the prober's own
 	CrossProbes  int64 // remote probes that crossed a cluster boundary
+
+	// Tenant accounting (multi-tenant extension): when the policy set
+	// carries a tenant partition (policy.Grouped), the engine classifies
+	// every successful steal from a remote segment by whether the victim
+	// belonged to another tenant. ForeignSteals/TenantSteals is the
+	// steal-interference measure of `poolbench -exp tenants`.
+	TenantSteals  int64 // successful remote steals classified by a tenant partition
+	ForeignSteals int64 // classified steals whose victim belonged to another tenant
+
+	// OpLat is the per-operation latency histogram: one observation per
+	// completed operation (adds, removes — local, stolen, batch — and
+	// aborts), recorded with the operation's duration in µs (virtual or
+	// wall-clock). Recording is three atomic adds, so it stays on the
+	// 0-alloc hot path; percentiles are read at report time, after Merge.
+	OpLat LatencyHist
 }
 
 // RecordProbe classifies one remote segment probe: cross reports whether
@@ -86,6 +101,7 @@ func (s *PoolStats) CrossProbeFraction() float64 {
 func (s *PoolStats) RecordAdd(d int64) {
 	s.Adds++
 	s.AddTime.Add(float64(d))
+	s.OpLat.Record(d)
 }
 
 // RecordLocalRemove records a remove satisfied locally.
@@ -93,6 +109,7 @@ func (s *PoolStats) RecordLocalRemove(d int64) {
 	s.Removes++
 	s.LocalRemoves++
 	s.RemoveTime.Add(float64(d))
+	s.OpLat.Record(d)
 }
 
 // RecordStealRemove records a remove that needed a steal: total duration d,
@@ -104,6 +121,7 @@ func (s *PoolStats) RecordStealRemove(d, sd int64, examined, stolen int) {
 	s.StealTime.Add(float64(sd))
 	s.SegmentsExamined.Add(float64(examined))
 	s.ElementsStolen.Add(float64(stolen))
+	s.OpLat.Record(d)
 }
 
 // RecordBatchAdd records one PutAll of n elements taking d in total.
@@ -111,6 +129,7 @@ func (s *PoolStats) RecordBatchAdd(d int64, n int) {
 	s.BatchAdds++
 	s.Adds += int64(n)
 	s.AddTime.Add(float64(d))
+	s.OpLat.Record(d)
 }
 
 // RecordBatchLocalRemove records one GetN satisfied by the local segment:
@@ -120,6 +139,7 @@ func (s *PoolStats) RecordBatchLocalRemove(d int64, n int) {
 	s.Removes += int64(n)
 	s.LocalRemoves += int64(n)
 	s.RemoveTime.Add(float64(d))
+	s.OpLat.Record(d)
 }
 
 // RecordBatchStealRemove records one GetN that needed a steal: total
@@ -133,6 +153,7 @@ func (s *PoolStats) RecordBatchStealRemove(d, sd int64, examined, stolen, n int)
 	s.StealTime.Add(float64(sd))
 	s.SegmentsExamined.Add(float64(examined))
 	s.ElementsStolen.Add(float64(stolen))
+	s.OpLat.Record(d)
 }
 
 // RecordAbort records a remove aborted because every participant was
@@ -141,6 +162,18 @@ func (s *PoolStats) RecordBatchStealRemove(d, sd int64, examined, stolen, n int)
 func (s *PoolStats) RecordAbort(d int64) {
 	s.Aborts++
 	s.AbortTime.Add(float64(d))
+	s.OpLat.Record(d)
+}
+
+// RecordStealVictim classifies one successful remote steal against the
+// pool's tenant partition: foreign reports whether the victim segment
+// belonged to a different tenant than the thief. Called by the engine
+// only when the policy set carries a partition (policy.Grouped).
+func (s *PoolStats) RecordStealVictim(foreign bool) {
+	s.TenantSteals++
+	if foreign {
+		s.ForeignSteals++
+	}
 }
 
 // Merge folds another collector into s.
@@ -162,6 +195,9 @@ func (s *PoolStats) Merge(o *PoolStats) {
 	s.BatchRemoves += o.BatchRemoves
 	s.RemoteProbes += o.RemoteProbes
 	s.CrossProbes += o.CrossProbes
+	s.TenantSteals += o.TenantSteals
+	s.ForeignSteals += o.ForeignSteals
+	s.OpLat.Merge(&o.OpLat)
 }
 
 // Ops returns the number of completed element movements (adds + removes).
@@ -216,6 +252,17 @@ func (s *PoolStats) StealFraction() float64 {
 		return 0
 	}
 	return float64(s.Steals) / float64(s.RemoveTime.N())
+}
+
+// StealInterference returns the fraction of tenant-classified steals whose
+// victim belonged to another tenant — how much of one tenant's backlog is
+// drained (or plundered) by the others. 0 when the pool ran without a
+// tenant partition.
+func (s *PoolStats) StealInterference() float64 {
+	if s.TenantSteals == 0 {
+		return 0
+	}
+	return float64(s.ForeignSteals) / float64(s.TenantSteals)
 }
 
 // MixAchieved returns the fraction of completed element movements that

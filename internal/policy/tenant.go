@@ -1,0 +1,121 @@
+package policy
+
+// TenantMap assigns each segment to a tenant: entry i is the tenant id
+// (0-based, small, dense) of segment i. A multi-tenant pool is one shared
+// pool whose segments are partitioned among N tenants; the map is how
+// tenant-aware policies — and the engine's steal-interference accounting —
+// learn the partition. Segments beyond the map's length (or a nil map)
+// belong to tenant 0.
+type TenantMap []int
+
+// TenantOf returns the tenant owning segment seg (0 for out-of-range
+// segments, so a short or nil map degrades to a single tenant).
+func (m TenantMap) TenantOf(seg int) int {
+	if seg < 0 || seg >= len(m) {
+		return 0
+	}
+	return m[seg]
+}
+
+// NumTenants returns the number of tenants the map names (max id + 1),
+// at least 1.
+func (m TenantMap) NumTenants() int {
+	n := 1
+	for _, t := range m {
+		if t+1 > n {
+			n = t + 1
+		}
+	}
+	return n
+}
+
+// EvenTenants builds the contiguous block partition: segments
+// [t*segments/tenants, (t+1)*segments/tenants) belong to tenant t. This
+// mirrors how the multi-tenant workload assigns processes to tenants, so
+// a process and its own segment always share a tenant.
+func EvenTenants(segments, tenants int) TenantMap {
+	if tenants < 1 {
+		tenants = 1
+	}
+	m := make(TenantMap, segments)
+	for s := range m {
+		m[s] = s * tenants / segments
+	}
+	return m
+}
+
+// Grouped is implemented by policies that carry a tenant partition. The
+// engine looks for it on the policy set's Placement (then VictimOrder) at
+// construction time; when found, it precomputes a foreign-segment mask
+// and classifies every successful steal as same-tenant or cross-tenant
+// (PoolStats.RecordStealVictim), which is what `poolbench -exp tenants`
+// reports as steal interference.
+type Grouped interface {
+	// Partition returns the tenant map. Called once at engine
+	// construction; the map must not change afterwards.
+	Partition() TenantMap
+}
+
+// TenantFair is the tenant-aware fairness placement: a Director that
+// confines each add to segments of the adder's own tenant, walking them
+// emptiest-first under a probe budget (GiftToEmptiest restricted to the
+// partition). It attacks multi-tenant interference from the add side — a
+// hot tenant's surplus is spread across that tenant's own segments
+// instead of piling onto one, so its neighbors steal within the tenant
+// before plundering a stranger's reserve.
+//
+// Mailbox gifts are anonymous — a hungry searcher from any tenant could
+// receive one — so GiftSplit keeps every batch out of the mailboxes;
+// fairness placement never donates across the partition.
+type TenantFair struct {
+	// Map is the tenant partition. A nil map means one tenant, which
+	// degenerates to GiftToEmptiest's ring sweep.
+	Map TenantMap
+	// Probes bounds how many own-tenant segments each add examines,
+	// walking the ring from the adder's own segment. 0 means
+	// DefaultProbes; negative probes the whole tenant.
+	Probes int
+}
+
+var (
+	_ Director = TenantFair{}
+	_ Grouped  = TenantFair{}
+)
+
+// GiftSplit implements Placement: nothing is gifted to mailboxes, because
+// a gift cannot be routed by tenant (see the type comment).
+func (TenantFair) GiftSplit(int, int) int { return 0 }
+
+// Partition implements Grouped.
+func (t TenantFair) Partition() TenantMap { return t.Map }
+
+// Direct implements Director: probe up to Probes segments of the adder's
+// own tenant, walking the ring from self, and return the emptiest one
+// probed. Ties keep the earliest (nearest) probed segment, so an
+// all-empty tenant places locally.
+func (t TenantFair) Direct(self, segments, _ int, size func(seg int) int) int {
+	probes := t.Probes
+	if probes == 0 {
+		probes = DefaultProbes
+	}
+	if probes < 0 || probes > segments {
+		probes = segments
+	}
+	mine := t.Map.TenantOf(self)
+	best, bestLen := self, -1
+	probed := 0
+	for off := 0; off < segments && probed < probes; off++ {
+		s := (self + off) % segments
+		if t.Map.TenantOf(s) != mine {
+			continue
+		}
+		probed++
+		if l := size(s); bestLen < 0 || l < bestLen {
+			best, bestLen = s, l
+		}
+	}
+	return best
+}
+
+// Name implements Placement.
+func (TenantFair) Name() string { return "tenant-fair" }

@@ -1,0 +1,98 @@
+package policy
+
+import "testing"
+
+func TestEvenTenants(t *testing.T) {
+	m := EvenTenants(16, 4)
+	if m.NumTenants() != 4 {
+		t.Fatalf("NumTenants = %d, want 4", m.NumTenants())
+	}
+	for s := 0; s < 16; s++ {
+		if got, want := m.TenantOf(s), s/4; got != want {
+			t.Errorf("TenantOf(%d) = %d, want %d (contiguous blocks)", s, got, want)
+		}
+	}
+	// Uneven division still partitions every segment, ids stay dense.
+	m = EvenTenants(10, 3)
+	if m.NumTenants() != 3 {
+		t.Errorf("NumTenants = %d, want 3", m.NumTenants())
+	}
+	for s := 1; s < 10; s++ {
+		if m.TenantOf(s) < m.TenantOf(s-1) {
+			t.Errorf("tenant ids not monotone at segment %d", s)
+		}
+	}
+	// Degenerate tenant counts clamp to one tenant.
+	if m := EvenTenants(4, 0); m.NumTenants() != 1 {
+		t.Errorf("EvenTenants(4,0).NumTenants = %d, want 1", m.NumTenants())
+	}
+}
+
+func TestTenantMapDegradesToSingleTenant(t *testing.T) {
+	var nilMap TenantMap
+	if nilMap.TenantOf(3) != 0 || nilMap.NumTenants() != 1 {
+		t.Error("nil map should mean a single tenant owning everything")
+	}
+	short := TenantMap{0, 1}
+	if short.TenantOf(5) != 0 {
+		t.Error("out-of-range segment should belong to tenant 0")
+	}
+	if short.TenantOf(-1) != 0 {
+		t.Error("negative segment should belong to tenant 0")
+	}
+}
+
+func TestTenantFairStaysInPartition(t *testing.T) {
+	m := EvenTenants(8, 2) // tenant 0: segments 0-3, tenant 1: 4-7
+	tf := TenantFair{Map: m, Probes: -1}
+	sizes := make([]int, 8)
+	size := func(s int) int { return sizes[s] }
+
+	// The emptiest segment overall is foreign: Direct must not pick it.
+	for s := range sizes {
+		sizes[s] = 10
+	}
+	sizes[6] = 0 // tenant 1's segment, tempting but off-limits to tenant 0
+	sizes[2] = 3 // tenant 0's emptiest
+	if got := tf.Direct(0, 8, 1, size); got != 2 {
+		t.Errorf("Direct(0) = %d, want 2 (own tenant's emptiest)", got)
+	}
+	if got := tf.Direct(5, 8, 1, size); got != 6 {
+		t.Errorf("Direct(5) = %d, want 6 (tenant 1's emptiest)", got)
+	}
+
+	// Ties keep the nearest probed segment — an all-equal tenant places
+	// locally.
+	for s := range sizes {
+		sizes[s] = 7
+	}
+	if got := tf.Direct(3, 8, 1, size); got != 3 {
+		t.Errorf("Direct(3) on uniform sizes = %d, want self", got)
+	}
+}
+
+func TestTenantFairProbeBudget(t *testing.T) {
+	m := EvenTenants(8, 1) // one tenant: the whole ring is eligible
+	tf := TenantFair{Map: m, Probes: 2}
+	sizes := []int{5, 4, 0, 0, 0, 0, 0, 0}
+	size := func(s int) int { return sizes[s] }
+	// Only segments 0 and 1 are probed under the budget; the empty ones
+	// beyond are never seen.
+	if got := tf.Direct(0, 8, 1, size); got != 1 {
+		t.Errorf("Direct with Probes=2 = %d, want 1", got)
+	}
+}
+
+func TestTenantFairPlacementContract(t *testing.T) {
+	tf := TenantFair{Map: EvenTenants(4, 2)}
+	if got := tf.GiftSplit(8, 3); got != 0 {
+		t.Errorf("GiftSplit = %d, want 0 (mailbox gifts cannot be routed by tenant)", got)
+	}
+	if tf.Name() == "" {
+		t.Error("Name must be non-empty")
+	}
+	var g Grouped = tf
+	if got := g.Partition().NumTenants(); got != 2 {
+		t.Errorf("Partition().NumTenants = %d, want 2", got)
+	}
+}

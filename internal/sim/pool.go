@@ -34,6 +34,15 @@ type PoolConfig struct {
 	StealOne bool
 	// Trace enables per-segment size traces (Figures 3-6).
 	Trace bool
+	// SearchLaps, when positive, replaces the paper's all-searching
+	// livelock rule with a bounded search: a remove gives up after
+	// SearchLaps fruitless laps of the ring (engine.Bounded). The open-loop
+	// driver requires this — under external arrivals most processes are
+	// idle between operations, never "searching", so the all-searching
+	// observation can starve a lone searcher on a drained pool for tens of
+	// virtual milliseconds. An open-loop remove instead times out quickly
+	// (an abort, charged for its probes) and the arrival stream moves on.
+	SearchLaps int
 }
 
 // Pool is a concurrent pool living inside a simulation: segments hold real
@@ -179,6 +188,10 @@ func (p *Pool[T]) Proc(env *Env) *Proc[T] {
 	id := env.ID()
 	pr := &Proc[T]{pool: p, env: env, id: id}
 	pr.sub.proc = pr
+	var term engine.Termination = engine.NewLaps(p.cfg.Procs, lapsState[T]{p})
+	if p.cfg.SearchLaps > 0 {
+		term = engine.NewBounded(p.cfg.SearchLaps * p.cfg.Procs)
+	}
 	pr.eng = engine.New(engine.Config{
 		Self:      id,
 		Segments:  p.cfg.Procs,
@@ -187,7 +200,7 @@ func (p *Pool[T]) Proc(env *Env) *Proc[T] {
 		Topology:  p.cfg.Costs.Topo,
 		Stats:     &pr.stats,
 		SizeProbe: pr.sizeProbe(),
-	}, &pr.sub, engine.NewLaps(p.cfg.Procs, lapsState[T]{p}))
+	}, &pr.sub, term)
 	pr.steal = pr.eng.StealAmount()
 	return pr
 }

@@ -59,6 +59,11 @@ type RunResult struct {
 	// SegmentWaited is the queueing delay suffered at each segment, the
 	// interference measure behind the bunching analysis.
 	SegmentWaited []int64
+	// Sojourns are per-processor sojourn-time histograms (completion minus
+	// arrival, µs) under the OpenLoop model; nil for closed-loop models.
+	// Aggregate across processors (or a tenant's processors) with
+	// LatencyHist.Merge before reading percentiles.
+	Sojourns []metrics.LatencyHist
 	// Remaining is the number of elements left in the pool at the end.
 	Remaining int
 }
@@ -70,14 +75,23 @@ func Run(cfg RunConfig) RunResult {
 	if err := wl.Validate(); err != nil {
 		panic(err) // programmer error: harness configs are static
 	}
+	searchLaps := 0
+	if wl.Model == workload.OpenLoop {
+		// Bounded search instead of the all-searching livelock rule: under
+		// external arrivals the idle processes never enter a search, so the
+		// all-searching observation would pin a searcher on a drained pool
+		// until the next add happens to arrive. See PoolConfig.SearchLaps.
+		searchLaps = 2
+	}
 	pool := NewPool[Token](PoolConfig{
-		Procs:    wl.Procs,
-		Search:   cfg.Search,
-		Costs:    cfg.Costs,
-		Seed:     cfg.Seed,
-		Policies: cfg.Policies,
-		StealOne: cfg.StealOne,
-		Trace:    cfg.Trace,
+		Procs:      wl.Procs,
+		Search:     cfg.Search,
+		Costs:      cfg.Costs,
+		Seed:       cfg.Seed,
+		Policies:   cfg.Policies,
+		StealOne:   cfg.StealOne,
+		Trace:      cfg.Trace,
+		SearchLaps: searchLaps,
 	})
 	pool.Seed(wl.InitialElements, func(int) Token { return Token{} })
 
@@ -92,6 +106,10 @@ func Run(cfg RunConfig) RunResult {
 	var controls []ControllerTrace
 	if cfg.ControlTrace {
 		controls = make([]ControllerTrace, wl.Procs)
+	}
+	var sojourns []metrics.LatencyHist
+	if wl.Model == workload.OpenLoop {
+		sojourns = make([]metrics.LatencyHist, wl.Procs)
 	}
 	for id := 0; id < wl.Procs; id++ {
 		id := id
@@ -110,6 +128,37 @@ func Run(cfg RunConfig) RunResult {
 					controls[id].Batch.Record(env.Now(), batch)
 					cross := int64(pr.Stats().CrossProbeFraction()*1000 + 0.5)
 					controls[id].CrossPermil.Record(env.Now(), cross)
+				}
+			}
+			if wl.Model == workload.OpenLoop {
+				// Open loop: operations arrive on the external clock, not
+				// when the previous one finishes. A processor behind on its
+				// arrival schedule starts the next operation immediately —
+				// the backlog is what inflates sojourn time under overload.
+				gen := wl.ArrivalsFor(id).Gen(id, cfg.Seed)
+				var arrival int64
+				for {
+					env.Charge(&budgetRes, cfg.Costs.Cost(numa.AccessShared, id, -1))
+					if budget <= 0 {
+						pool.AbortAll()
+						return
+					}
+					budget--
+					gap, svc := gen.Next()
+					arrival += gap
+					if wait := arrival - env.Now(); wait > 0 {
+						env.Compute(wait) // idle until the arrival
+					}
+					if ch.Next() == metrics.OpAdd {
+						pr.Put(Token{})
+					} else {
+						pr.Get()
+					}
+					if svc > 0 {
+						env.Compute(svc)
+					}
+					sojourns[id].Record(env.Now() - arrival)
+					sample()
 				}
 			}
 			for {
@@ -164,6 +213,7 @@ func Run(cfg RunConfig) RunResult {
 		Traces:        pool.Traces(),
 		Controls:      controls,
 		Remaining:     pool.Len(),
+		Sojourns:      sojourns,
 	}
 	for id, pr := range procs {
 		res.PerProc[id] = *pr.Stats()

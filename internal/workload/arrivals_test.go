@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestArrivalsValidate(t *testing.T) {
+	good := Arrivals{Lambda: 0.001, ServiceMean: 100, ServiceZipf: 1.1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid arrivals rejected: %v", err)
+	}
+	bad := []Arrivals{
+		{},                             // Lambda required
+		{Lambda: -1},                   // negative rate
+		{Lambda: math.NaN()},           // NaN rate
+		{Lambda: 1, Burstiness: -1},    // negative shape
+		{Lambda: 1, BurstLen: 0.5},     // burst length below one arrival
+		{Lambda: 1, ServiceMean: -5},   // negative service
+		{Lambda: 1, ServiceZipf: -0.1}, // negative exponent
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad arrivals %d (%+v) accepted", i, a)
+		}
+	}
+}
+
+func TestArrivalGenDeterministic(t *testing.T) {
+	a := Arrivals{Lambda: 0.002, Burstiness: 4, ServiceMean: 50, ServiceZipf: 1.1}
+	g1 := a.Gen(3, 1989)
+	g2 := a.Gen(3, 1989)
+	other := a.Gen(4, 1989)
+	differs := false
+	for i := 0; i < 200; i++ {
+		gap1, svc1 := g1.Next()
+		gap2, svc2 := g2.Next()
+		if gap1 != gap2 || svc1 != svc2 {
+			t.Fatalf("same (proc,seed) diverged at draw %d", i)
+		}
+		if gap3, svc3 := other.Next(); gap3 != gap1 || svc3 != svc1 {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different processors drew identical streams")
+	}
+}
+
+func TestArrivalGenPoissonMean(t *testing.T) {
+	// The empirical mean gap of the Poisson process approaches 1/Lambda.
+	a := Arrivals{Lambda: 0.001} // mean gap 1000 µs
+	g := a.Gen(0, 7)
+	const n = 200000
+	var sum int64
+	for i := 0; i < n; i++ {
+		gap, svc := g.Next()
+		if svc != 0 {
+			t.Fatal("no ServiceMean configured but service drawn")
+		}
+		sum += gap
+	}
+	mean := float64(sum) / n
+	if mean < 950 || mean > 1050 {
+		t.Errorf("Poisson mean gap = %.1f µs, want ~1000", mean)
+	}
+}
+
+func TestArrivalGenBurstyPreservesRate(t *testing.T) {
+	// Burstiness reshapes the gaps but the long-run rate stays Lambda:
+	// short within-burst gaps, long idle gaps, same mean.
+	a := Arrivals{Lambda: 0.001, Burstiness: 8, BurstLen: 4}
+	g := a.Gen(1, 11)
+	const n = 200000
+	var sum int64
+	short := 0
+	for i := 0; i < n; i++ {
+		gap, _ := g.Next()
+		sum += gap
+		if float64(gap) < 1/(2*a.Lambda) {
+			short++
+		}
+	}
+	mean := float64(sum) / n
+	if mean < 930 || mean > 1070 {
+		t.Errorf("bursty mean gap = %.1f µs, want ~1000 (rate preserved)", mean)
+	}
+	// Most gaps are the short within-burst kind — that is what "bursty"
+	// means — while the mean is carried by the rare long idles.
+	if frac := float64(short) / n; frac < 0.5 {
+		t.Errorf("only %.0f%% of gaps are within-burst short, want a majority", frac*100)
+	}
+}
+
+func TestArrivalGenZipfServiceMean(t *testing.T) {
+	a := Arrivals{Lambda: 0.01, ServiceMean: 100, ServiceZipf: 1.1}
+	g := a.Gen(0, 3)
+	const n = 200000
+	var sum, max int64
+	for i := 0; i < n; i++ {
+		_, svc := g.Next()
+		if svc < 1 {
+			t.Fatal("service below 1 µs")
+		}
+		sum += svc
+		if svc > max {
+			max = svc
+		}
+	}
+	mean := float64(sum) / n
+	if mean < 90 || mean > 110 {
+		t.Errorf("zipf service mean = %.1f µs, want ~%d", mean, a.ServiceMean)
+	}
+	// Heavy tail: the largest class dwarfs the mean.
+	if float64(max) < 5*mean {
+		t.Errorf("max service %d not heavy-tailed relative to mean %.1f", max, mean)
+	}
+	// Zipf off: every draw is exactly ServiceMean.
+	flat := Arrivals{Lambda: 0.01, ServiceMean: 100}.Gen(0, 3)
+	for i := 0; i < 100; i++ {
+		if _, svc := flat.Next(); svc != 100 {
+			t.Fatalf("flat service drew %d, want exactly 100", svc)
+		}
+	}
+}
+
+func TestTenantHelpers(t *testing.T) {
+	c := Config{Procs: 16, Tenants: 4, TenantSkew: 1.2,
+		Arrivals: Arrivals{Lambda: 0.001}}
+	if c.TenantCount() != 4 {
+		t.Fatalf("TenantCount = %d, want 4", c.TenantCount())
+	}
+	// Contiguous blocks, matching policy.EvenTenants' partition.
+	m := c.TenantMapping()
+	for p := 0; p < 16; p++ {
+		if m[p] != p/4 {
+			t.Errorf("TenantOf(%d) = %d, want %d", p, m[p], p/4)
+		}
+	}
+	// Weights decrease with tenant id and average to exactly 1, so skew
+	// moves load around without changing the total offered load.
+	var sum float64
+	for i := 0; i < 4; i++ {
+		w := c.TenantWeight(i)
+		sum += w
+		if i > 0 && w >= c.TenantWeight(i-1) {
+			t.Errorf("weight not decreasing at tenant %d", i)
+		}
+	}
+	if math.Abs(sum/4-1) > 1e-12 {
+		t.Errorf("mean tenant weight = %v, want 1", sum/4)
+	}
+	// ArrivalsFor scales Lambda by the processor's tenant weight.
+	hot := c.ArrivalsFor(0).Lambda
+	cold := c.ArrivalsFor(15).Lambda
+	if hot <= c.Arrivals.Lambda || cold >= c.Arrivals.Lambda {
+		t.Errorf("skewed lambdas hot=%v cold=%v around base %v", hot, cold, c.Arrivals.Lambda)
+	}
+	// Skew 0 (or one tenant) leaves every processor at the base rate.
+	c.TenantSkew = 0
+	if c.ArrivalsFor(0).Lambda != c.Arrivals.Lambda {
+		t.Error("skew 0 must not change Lambda")
+	}
+	// Tenants clamps to [1, Procs].
+	if (Config{Procs: 4, Tenants: 9}).TenantCount() != 4 {
+		t.Error("TenantCount must clamp to Procs")
+	}
+	if (Config{Procs: 4}).TenantCount() != 1 {
+		t.Error("zero Tenants means one tenant")
+	}
+}
+
+func TestOpenLoopValidate(t *testing.T) {
+	c := Config{Procs: 4, TotalOps: 100, Model: OpenLoop, AddFraction: 0.5,
+		Arrivals: Arrivals{Lambda: 0.001}}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid open-loop config rejected: %v", err)
+	}
+	c.Arrivals.Lambda = 0
+	if err := c.Validate(); err == nil {
+		t.Error("open-loop config without Lambda accepted")
+	}
+	c.Arrivals.Lambda = 0.001
+	c.Tenants = 9 // more tenants than processors
+	if err := c.Validate(); err == nil {
+		t.Error("Tenants > Procs accepted")
+	}
+}

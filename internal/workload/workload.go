@@ -14,7 +14,13 @@
 //   - the burst model, a producer/consumer variant beyond the paper in
 //     which processes move elements in batches of Config.BatchSize via the
 //     pools' batch operations (PutAll/GetN), modelling the bursty arrivals
-//     of real producer/consumer systems.
+//     of real producer/consumer systems;
+//   - the open-loop model (also beyond the paper), where operations arrive
+//     on an external clock (Poisson or bursty-exponential, with
+//     zipf-distributed service times) and queue behind busy processes, with
+//     an optional multi-tenant partition skewing arrival rates — the
+//     heavy-traffic regime judged by sojourn-time tails instead of mean
+//     operation time. See Arrivals and docs/WORKLOADS.md.
 //
 // The experiment protocol constants (5000 operations against a pool seeded
 // with 320 elements on 16 processors, averaged over 10 trials) also live
@@ -49,11 +55,17 @@ const (
 type Model int
 
 // The two workload models of Section 3.3, plus the batched
-// producer/consumer extension.
+// producer/consumer extension and the open-loop arrivals extension.
 const (
 	RandomOps Model = iota + 1
 	ProducerConsumer
 	Burst
+	// OpenLoop replaces the closed loop (next op starts when the previous
+	// finishes) with an external arrival clock (Config.Arrivals): each
+	// process draws inter-arrival gaps and per-arrival service times, ops
+	// queue behind a busy process, and the quantity measured is the tail
+	// of sojourn time. The op mix is AddFraction, like RandomOps.
+	OpenLoop
 )
 
 // String names the model.
@@ -65,6 +77,8 @@ func (m Model) String() string {
 		return "producer-consumer"
 	case Burst:
 		return "burst"
+	case OpenLoop:
+		return "open-loop"
 	default:
 		return fmt.Sprintf("Model(%d)", int(m))
 	}
@@ -100,9 +114,22 @@ type Config struct {
 	Procs int   // number of processes (= segments)
 	Model Model // operation pattern
 
-	// AddFraction is the job mix for RandomOps: the probability that an
-	// operation is an add.
+	// AddFraction is the job mix for RandomOps and OpenLoop: the
+	// probability that an operation is an add.
 	AddFraction float64
+
+	// Arrivals drives the OpenLoop model: the per-process arrival rate,
+	// burstiness, and service-time distribution.
+	Arrivals Arrivals
+
+	// Tenants partitions the processors of an OpenLoop run into that many
+	// contiguous blocks, each a tenant sharing the one pool; 0 or 1 means
+	// a single tenant. TenantSkew is the zipf exponent skewing arrival
+	// rates across tenants (0 = uniform; see TenantWeight). Use
+	// TenantMapping to derive the matching segment partition for
+	// policy.TenantMap.
+	Tenants    int
+	TenantSkew float64
 
 	// Producers and Arrangement configure ProducerConsumer.
 	Producers   int
@@ -146,6 +173,19 @@ func (c Config) Validate() error {
 	case RandomOps:
 		if c.AddFraction < 0 || c.AddFraction > 1 {
 			return fmt.Errorf("workload: AddFraction = %v, need [0,1]", c.AddFraction)
+		}
+	case OpenLoop:
+		if c.AddFraction < 0 || c.AddFraction > 1 {
+			return fmt.Errorf("workload: AddFraction = %v, need [0,1]", c.AddFraction)
+		}
+		if err := c.Arrivals.Validate(); err != nil {
+			return err
+		}
+		if c.Tenants < 0 || c.Tenants > c.Procs {
+			return fmt.Errorf("workload: Tenants = %d, need [0,%d]", c.Tenants, c.Procs)
+		}
+		if c.TenantSkew < 0 {
+			return fmt.Errorf("workload: TenantSkew = %v, need >= 0", c.TenantSkew)
 		}
 	case ProducerConsumer, Burst:
 		if c.Producers < 0 || c.Producers > c.Procs {

@@ -197,7 +197,24 @@ type (
 	// PerHandleControl hands every pool handle its own independent
 	// adaptive controller; see NewPerHandlePolicy.
 	PerHandleControl = policy.PerHandle
+	// TenantMap assigns each segment to a tenant; see EvenTenants.
+	TenantMap = policy.TenantMap
+	// TenantFairPlacement keeps a tenant's adds inside its own segment
+	// block and arms the pool's steal-interference accounting (the
+	// TenantSteals/ForeignSteals counters on its stats).
+	TenantFairPlacement = policy.TenantFair
 )
+
+// EvenTenants partitions segments into contiguous equal blocks, one per
+// tenant — the mapping behind the multi-tenant experiments (see
+// docs/WORKLOADS.md). Pair it with TenantFairPlacement:
+//
+//	tm := pools.EvenTenants(16, 4)
+//	p, _ := pools.New[Task](pools.Options{
+//		Segments: 16, CollectStats: true,
+//		Policies: pools.PolicySet{Place: pools.TenantFairPlacement{Map: tm}},
+//	})
+func EvenTenants(segments, tenants int) TenantMap { return policy.EvenTenants(segments, tenants) }
 
 // CostModel maps memory accesses to time by access kind, accessor, and
 // home processor; see internal/numa. Build one with ButterflyCosts and
