@@ -6,7 +6,7 @@ GO ?= go
 # (baseline was 87.9% when the gate was introduced).
 COVER_FLOOR ?= 85.0
 
-.PHONY: build test race fuzz-smoke bench-smoke vet cover policy-smoke docs-check bench-check bench-baseline ci
+.PHONY: build test race fuzz-smoke bench-smoke vet cover policy-smoke docs-check bench-check bench-baseline trace-smoke introspect-smoke ci
 
 build:
 	$(GO) build ./...
@@ -73,10 +73,39 @@ docs-check:
 	test -f docs/ARCHITECTURE.md
 	test -f docs/EXPERIMENTS.md
 	test -f docs/WORKLOADS.md
+	test -f docs/OBSERVABILITY.md
 	grep -q "docs/ARCHITECTURE.md" README.md
 	grep -q "docs/EXPERIMENTS.md" README.md
 	grep -q "docs/WORKLOADS.md" README.md
-	$(GO) run ./internal/tools/doclint ./internal/policy ./internal/numa ./internal/engine ./internal/workload
+	grep -q "docs/OBSERVABILITY.md" README.md
+	$(GO) run ./internal/tools/doclint ./internal/policy ./internal/numa ./internal/engine ./internal/workload ./internal/trace ./internal/introspect
 	$(GO) build -tags docsexamples ./internal/docexamples
 
-ci: build vet test race fuzz-smoke bench-smoke cover policy-smoke docs-check bench-check
+# Flight-recorder smoke: a seeded poolbench -trace dump must validate
+# against the Chrome trace-event schema (internal/tools/tracecheck), and
+# the sim's golden-trace test must agree byte-for-byte with the committed
+# export (internal/sim/testdata/golden_trace.json).
+trace-smoke:
+	$(GO) run ./cmd/poolbench -trace trace-smoke.json -ops 2000 -procs 8 > /dev/null
+	$(GO) run ./internal/tools/tracecheck trace-smoke.json
+	rm -f trace-smoke.json
+	$(GO) test -run 'TestGoldenChromeTrace|TestEventTimelineContent' -count=1 ./internal/sim
+
+# Introspection smoke: boot a live run on an ephemeral port, scrape the
+# printed address, and hit every endpoint the flag promises (pprof,
+# expvar poolstats, /stats, /trace).
+introspect-smoke:
+	@rm -f introspect-smoke.out
+	@$(GO) run ./cmd/poolbench -debug-addr 127.0.0.1:0 -serve 8s -ops 100000 -procs 8 > introspect-smoke.out & \
+	for i in $$(seq 1 50); do grep -q 'introspection: http://' introspect-smoke.out 2>/dev/null && break; sleep 0.2; done; \
+	ADDR=$$(grep -o 'http://[0-9.:]*' introspect-smoke.out | head -1); \
+	test -n "$$ADDR" || { echo "introspect-smoke: server never printed its address"; cat introspect-smoke.out; exit 1; }; \
+	set -e; \
+	curl -sf $$ADDR/stats | grep -q 'ops='; \
+	curl -sf $$ADDR/debug/vars | grep -q 'poolstats'; \
+	curl -sf $$ADDR/debug/pprof/ > /dev/null; \
+	curl -sf "$$ADDR/trace?handle=0" | grep -q 'traceEvents'; \
+	echo "introspect-smoke: all endpoints ok"; \
+	wait; rm -f introspect-smoke.out
+
+ci: build vet test race fuzz-smoke bench-smoke cover policy-smoke docs-check trace-smoke introspect-smoke bench-check

@@ -173,6 +173,36 @@ func BenchmarkGetHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkGetHotPathTraced measures the stats-on fast path with the
+// flight recorder attached: identical loop to BenchmarkGetHotPath, so
+// the gap between the two is the per-event recording cost (a clock read,
+// a mutex, and a ring store — still 0 allocs/op). Pinned in
+// BENCH_BASELINE.json so recorder overhead can't creep.
+func BenchmarkGetHotPathTraced(b *testing.B) {
+	p, err := pools.New[int](pools.Options{
+		Segments: 8, CollectStats: true, Topology: pools.ClusterTopology{Size: 2},
+		TraceBuf: 1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := p.Handle(0)
+	h.Put(0)
+	h.Get()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Put(i)
+		if _, ok := h.Get(); !ok {
+			b.Fatal("local Get missed")
+		}
+	}
+	b.StopTimer()
+	if tls := p.Timelines(); len(tls) == 0 || len(tls[0].Events) == 0 {
+		b.Fatal("traced benchmark recorded no events")
+	}
+}
+
 // BenchmarkGetHotPathHist measures the same stats-on fast path while
 // confirming the per-op latency histogram is populated: identical loop to
 // BenchmarkGetHotPath, so any gap between the two is the histogram's

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -151,9 +154,58 @@ func TestRunTraceExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"## trace", "Controller trajectories", "final steal fraction", "handle,role,sample"} {
+	for _, want := range []string{
+		"## trace", "Controller trajectories", "final steal fraction", "handle,role,sample",
+		// The flight-recorder half: density panels, activity table, raw log.
+		"Flight recorder", "events per bucket", "cross probes", "ts,handle,event,arg1,arg2",
+	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("trace output missing %q", want)
 		}
+	}
+}
+
+func TestRunTraceDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out strings.Builder
+	if err := run([]string{"-trace", path, "-ops", "600", "-procs", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("no write confirmation:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("dump is not Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("dump holds no events")
+	}
+	if err := run([]string{"-trace", filepath.Join(path, "nope", "out.json")}, &out); err == nil {
+		t.Error("uncreatable trace path accepted")
+	}
+}
+
+func TestRunDebugAddr(t *testing.T) {
+	var out strings.Builder
+	// No -serve: the server closes as soon as the run completes; the test
+	// only pins that the address line and the final summary render.
+	if err := run([]string{"-debug-addr", "127.0.0.1:0", "-ops", "2000", "-procs", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"introspection: http://127.0.0.1:", "run complete", "ops=2000"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("debug-addr output missing %q:\n%s", want, got)
+		}
+	}
+	if err := run([]string{"-debug-addr", "256.0.0.1:bad"}, &out); err == nil {
+		t.Error("unbindable debug address accepted")
 	}
 }

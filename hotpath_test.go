@@ -103,6 +103,28 @@ func TestHotPathAllocFree(t *testing.T) {
 		}
 	})
 
+	// Flight recorder on: Record is a clock read, a mutex, and an array
+	// store into the preallocated ring — the traced hot path keeps the 0
+	// allocs/op contract too (the tracing-off side of the contract is
+	// every other case in this test, all built with TraceBuf 0).
+	pt, err := pools.New[int](pools.Options{
+		Segments: 4, CollectStats: true, Topology: pools.ClusterTopology{Size: 2},
+		TraceBuf: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := pt.Handle(0)
+	requireZeroAllocs(t, "core traced Put/Get", func() {
+		ht.Put(1)
+		if _, ok := ht.Get(); !ok {
+			t.Fatal("traced Get missed")
+		}
+	})
+	if tl := pt.Tracer(0).Timeline(); len(tl.Events) == 0 {
+		t.Error("traced pool recorded no events")
+	}
+
 	// Keyed local Put/Get, including the drain-to-empty cycle: the spare
 	// bucket cache keeps a hot class from allocating a fresh bucket every
 	// time it empties and refills.

@@ -8,6 +8,7 @@ import (
 	"pools/internal/numa"
 	"pools/internal/policy"
 	"pools/internal/search"
+	"pools/internal/trace"
 )
 
 // Handle is a process's attachment to one segment of a Pool. All pool
@@ -28,6 +29,7 @@ type Handle[T any] struct {
 	sub        substrate[T]
 	stealBuf   []T // reused steal-transfer buffer (reserve under the victim's lock, deposit outside)
 	stats      metrics.PoolStats
+	tr         *trace.Recorder // flight recorder (nil unless Options.TraceBuf > 0)
 	registered bool
 	closed     bool
 }
@@ -85,6 +87,9 @@ func (h *Handle[T]) Close() {
 			if p.opts.CollectStats {
 				h.stats.DirectedReceives += int64(g.count())
 			}
+			if h.tr != nil {
+				h.tr.Record(trace.GiftRecv, -1, int32(g.count()))
+			}
 		}
 	}
 	h.closed = true
@@ -130,6 +135,9 @@ func (h *Handle[T]) Put(v T) {
 			h.stats.DirectedGives++
 			h.stats.RecordAdd(sinceMicros(start))
 		}
+		if h.tr != nil {
+			h.tr.Record(trace.GiftSend, -1, 1)
+		}
 		return
 	}
 	target := h.eng.DirectTarget(1)
@@ -165,6 +173,9 @@ func (h *Handle[T]) PutAll(items []T) {
 		gifted = p.giftOut(h.id, items)
 		if p.opts.CollectStats {
 			h.stats.DirectedGives += int64(gifted)
+		}
+		if h.tr != nil && gifted > 0 {
+			h.tr.Record(trace.GiftSend, -1, int32(gifted))
 		}
 		if gifted == len(items) {
 			p.version.Add(1)
@@ -321,6 +332,9 @@ func (h *Handle[T]) resolveSearch(res search.Result) (g gift[T], gotGift, stole 
 	p := h.pool
 	if p.boxes != nil {
 		g, gotGift = p.boxes[h.id].tryTake()
+	}
+	if h.tr != nil && gotGift {
+		h.tr.Record(trace.GiftRecv, -1, int32(g.count()))
 	}
 	if res.Got > 0 {
 		if gotGift {
@@ -515,6 +529,9 @@ func (w *substrate[T]) Probe(sIdx, want int) int {
 	h.stealBuf = buf[:0]
 	p.version.Add(1) // elements relocated: other searchers must re-scan
 	p.moving.Add(-1)
+	if h.tr != nil {
+		h.tr.Record(trace.ReserveTransfer, int32(sIdx), int32(moved))
+	}
 	return moved
 }
 

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pools/internal/engine"
 	"pools/internal/metrics"
@@ -44,6 +45,7 @@ import (
 	"pools/internal/rng"
 	"pools/internal/search"
 	"pools/internal/segment"
+	"pools/internal/trace"
 )
 
 // StealPolicy selects how many elements a successful steal transfers.
@@ -131,6 +133,13 @@ type Options struct {
 	// instead, which both enables the mailboxes and chooses how much of a
 	// batch is gifted.
 	DirectedAdds bool
+	// TraceBuf, when positive, attaches a flight recorder of that many
+	// events to every handle (internal/trace): searches, probes, ring
+	// escalations, reserve/transfer edges, gift traffic, and termination
+	// verdicts, timestamped in microseconds since pool creation. Zero
+	// disables tracing; the disabled hot path stays 0 allocs/op and pays
+	// only a nil check per emission site.
+	TraceBuf int
 }
 
 // ErrBadOptions is returned by New for invalid configuration.
@@ -163,6 +172,7 @@ type Pool[T any] struct {
 	giftOrder [][]int      // per-giver mailbox delivery order (hop-cost ranked under a topology)
 	leaves    int
 	handles   []*Handle[T]
+	epoch     time.Time // flight-recorder time zero (tracing only)
 
 	lookers atomic.Int32  // registered handles currently inside a search
 	open    atomic.Int32  // handles registered and not yet closed
@@ -186,6 +196,9 @@ func New[T any](opts Options) (*Pool[T], error) {
 	}
 	if opts.SegmentCap < 0 {
 		return nil, fmt.Errorf("%w: SegmentCap = %d", ErrBadOptions, opts.SegmentCap)
+	}
+	if opts.TraceBuf < 0 {
+		return nil, fmt.Errorf("%w: TraceBuf = %d", ErrBadOptions, opts.TraceBuf)
 	}
 	// Resolve the policy set: the deprecated enum and flag act as aliases
 	// for the two original steal policies and the gifting placement, then
@@ -232,6 +245,9 @@ func New[T any](opts Options) (*Pool[T], error) {
 			p.giftOrder = giftOrders(opts.Segments, topo)
 		}
 	}
+	if opts.TraceBuf > 0 {
+		p.epoch = time.Now()
+	}
 	p.handles = make([]*Handle[T], opts.Segments)
 	for i := range p.handles {
 		h := &Handle[T]{pool: p, id: i}
@@ -239,6 +255,9 @@ func New[T any](opts Options) (*Pool[T], error) {
 		var stats *metrics.PoolStats
 		if opts.CollectStats {
 			stats = &h.stats
+		}
+		if opts.TraceBuf > 0 {
+			h.tr = trace.NewRecorder(i, opts.TraceBuf, p.traceClock)
 		}
 		h.eng = engine.New(engine.Config{
 			Self:      i,
@@ -248,11 +267,35 @@ func New[T any](opts Options) (*Pool[T], error) {
 			Topology:  topo,
 			Stats:     stats,
 			SizeProbe: h.sizeProbe(),
+			Tracer:    h.tr,
 		}, &h.sub, engine.NewCoverage(opts.Segments, coverageState[T]{p}))
 		h.steal = h.eng.StealAmount()
 		p.handles[i] = h
 	}
 	return p, nil
+}
+
+// traceClock is the flight recorder's wall clock: microseconds since
+// pool creation, shared by every handle so their tracks align.
+func (p *Pool[T]) traceClock() int64 { return time.Since(p.epoch).Microseconds() }
+
+// Tracer returns segment i's flight recorder, nil unless the pool was
+// built with Options.TraceBuf > 0. Safe to call (and dump) while the
+// pool runs; the recorder synchronizes record-vs-snapshot itself.
+func (p *Pool[T]) Tracer(i int) *trace.Recorder { return p.handles[i].tr }
+
+// Timelines snapshots every handle's flight recorder for export
+// (trace.ChromeJSON / trace.WriteCSV). It returns nil when tracing is
+// disabled.
+func (p *Pool[T]) Timelines() []trace.Timeline {
+	if p.opts.TraceBuf <= 0 {
+		return nil
+	}
+	recs := make([]*trace.Recorder, len(p.handles))
+	for i, h := range p.handles {
+		recs[i] = h.tr
+	}
+	return trace.Collect(recs...)
 }
 
 // sizeProbe builds the handle's Director size-probe closure once, so the

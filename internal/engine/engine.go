@@ -46,6 +46,7 @@ import (
 	"pools/internal/numa"
 	"pools/internal/policy"
 	"pools/internal/search"
+	"pools/internal/trace"
 )
 
 // Substrate is one handle's typed view of its pool: the operations the
@@ -113,6 +114,13 @@ type Config struct {
 	// hot path does not allocate a closure per call. Required only when
 	// Policies.Place is a policy.Director.
 	SizeProbe func(s int) int
+	// Tracer, when non-nil, receives the handle's flight-recorder events:
+	// the engine emits the protocol edges (searches, probe classification,
+	// ring escalation, termination verdicts, directed placements,
+	// controller feedback) and the substrate adds only its reserve/
+	// transfer and gift edges. Nil disables tracing; every emission site
+	// is a nil check, so the disabled path stays 0 allocs/op.
+	Tracer *trace.Recorder
 }
 
 // Engine drives the search-steal protocol for one handle. Create with
@@ -127,8 +135,10 @@ type Engine struct {
 	dir      policy.Director
 	sizeFn   func(s int) int
 	stats    *metrics.PoolStats
-	cross    []bool // cross[s]: a probe of s leaves the cluster (nil = no topology)
-	foreign  []bool // foreign[s]: segment s belongs to another tenant (nil = no partition)
+	tr       *trace.Recorder
+	cross    []bool  // cross[s]: a probe of s leaves the cluster (nil = no topology)
+	hops     []int32 // hops[s]: topology hop distance self→s (nil = no topology)
+	foreign  []bool  // foreign[s]: segment s belongs to another tenant (nil = no partition)
 	w        world
 }
 
@@ -150,14 +160,18 @@ func New(cfg Config, sub Substrate, term Termination) *Engine {
 		searcher: srch,
 		sizeFn:   cfg.SizeProbe,
 		stats:    cfg.Stats,
+		tr:       cfg.Tracer,
 	}
 	if d, ok := cfg.Policies.Place.(policy.Director); ok {
 		e.dir = d
 	}
 	if cfg.Topology != nil {
 		e.cross = make([]bool, cfg.Segments)
+		e.hops = make([]int32, cfg.Segments)
 		for s := 0; s < cfg.Segments; s++ {
-			e.cross[s] = s != cfg.Self && cfg.Topology.Distance(cfg.Self, s) > 1
+			d := cfg.Topology.Distance(cfg.Self, s)
+			e.cross[s] = s != cfg.Self && d > 1
+			e.hops[s] = int32(d)
 		}
 	}
 	if m := groupedOf(cfg.Policies); m != nil {
@@ -199,8 +213,22 @@ func (e *Engine) Searcher() search.Searcher { return e.searcher }
 // per-handle instance under policy.PerHandle sets.
 func (e *Engine) StealAmount() policy.StealAmount { return e.steal }
 
-// Observe feeds one remove outcome to the handle's controller, if any.
+// Tracer returns the handle's flight recorder, nil when tracing is
+// disabled. Substrates use it to emit their reserve/transfer and gift
+// edges onto the same timeline as the engine's protocol events.
+func (e *Engine) Tracer() *trace.Recorder { return e.tr }
+
+// Observe feeds one remove outcome to the handle's controller, if any,
+// and records it on the flight recorder (got, or -1 on abort, plus the
+// probe count) so traces show the controller's input stream.
 func (e *Engine) Observe(fb policy.Feedback) {
+	if e.tr != nil {
+		got := int32(fb.Got)
+		if fb.Aborted {
+			got = -1
+		}
+		e.tr.Record(trace.Feedback, got, int32(fb.Examined))
+	}
 	if e.ctl != nil {
 		e.ctl.Observe(fb)
 	}
@@ -216,14 +244,29 @@ func (e *Engine) BatchSize(current int) int {
 }
 
 // NoteProbe classifies one segment probe against the precomputed hop
-// distances: local probes and disabled stats are no-ops; remote probes
-// count as near or cross-cluster. Substrates call it for Director
-// placement sweeps; search probes are classified by the engine itself.
-func (e *Engine) NoteProbe(s int) {
-	if s == e.self || e.stats == nil {
+// distances: local probes are no-ops; remote probes count as near or
+// cross-cluster on the stats and the flight recorder. Substrates call
+// it for Director placement sweeps; search probes are classified by
+// the engine itself.
+func (e *Engine) NoteProbe(s int) { e.noteProbe(s, 0) }
+
+// noteProbe is NoteProbe with the steal outcome attached, used by the
+// search loop so traced probes carry their haul.
+func (e *Engine) noteProbe(s, got int) {
+	if s == e.self {
 		return
 	}
-	e.stats.RecordProbe(e.cross != nil && e.cross[s])
+	cross := e.cross != nil && e.cross[s]
+	if e.stats != nil {
+		e.stats.RecordProbe(cross)
+	}
+	if e.tr != nil {
+		k := trace.ProbeNear
+		if cross {
+			k = trace.ProbeCross
+		}
+		e.tr.Record(k, int32(s), int32(got))
+	}
 }
 
 // DirectTarget consults the Director placement (when the policy set has
@@ -238,6 +281,9 @@ func (e *Engine) DirectTarget(n int) int {
 	if t < 0 || t >= e.segments {
 		return e.self
 	}
+	if e.tr != nil && t != e.self {
+		e.tr.Record(trace.DirectPlace, int32(t), int32(n))
+	}
 	return t
 }
 
@@ -250,10 +296,31 @@ func (e *Engine) DirectTarget(n int) int {
 // stopped the search). Search performs no per-call allocation.
 func (e *Engine) Search(want int) search.Result {
 	e.w.want = want
+	e.w.maxHop = 1
+	if e.tr != nil {
+		e.tr.Record(trace.SearchBegin, int32(want), 0)
+	}
 	e.w.term.Begin(want)
 	e.w.sub.Enter(want)
 	res := e.searcher.Search(&e.w)
 	e.w.sub.Exit()
+	if e.tr != nil {
+		if res.Got == 0 {
+			// Distinguish the two empty-handed endings on the timeline:
+			// a substrate hard stop (closed, drained, gift landed) is an
+			// abort; otherwise the termination rule certified emptiness.
+			if e.w.sub.Stopped() {
+				e.tr.Record(trace.TerminationAborted, int32(want), 0)
+			} else {
+				e.tr.Record(trace.TerminationCertified, int32(want), 0)
+			}
+		}
+		ring := e.w.maxHop
+		if e.hops == nil {
+			ring = 0 // no topology: rings are meaningless
+		}
+		e.tr.Record(trace.SearchEnd, int32(res.Got), ring)
+	}
 	return res
 }
 
@@ -262,11 +329,12 @@ func (e *Engine) Search(want int) search.Result {
 // so the search algorithms see exactly the interface they were written
 // against while the engine records probes and termination evidence.
 type world struct {
-	e    *Engine
-	sub  Substrate
-	tree TreeSubstrate // non-nil iff sub implements TreeSubstrate
-	term Termination
-	want int
+	e      *Engine
+	sub    Substrate
+	tree   TreeSubstrate // non-nil iff sub implements TreeSubstrate
+	term   Termination
+	want   int
+	maxHop int32 // farthest topology ring probed by the current search
 }
 
 var _ search.TreeWorld = (*world)(nil)
@@ -282,10 +350,26 @@ func (w *world) Self() int { return w.e.self }
 // set carries a partition), and report the outcome to the termination rule.
 func (w *world) TrySteal(s int) int {
 	got := w.sub.Probe(s, w.want)
-	w.e.NoteProbe(s)
+	w.e.noteProbe(s, got)
+	if w.e.tr != nil && w.e.hops != nil && s != w.e.self {
+		// Ring-escalation detection: the first probe past the farthest
+		// ring this search has touched marks the searcher widening its
+		// scope (HierarchicalOrder's ladder, or any order that strays).
+		if h := w.e.hops[s]; h > w.maxHop {
+			if h > 1 {
+				w.e.tr.Record(trace.EscalateRing, h, int32(s))
+			}
+			w.maxHop = h
+		}
+	}
 	if got > 0 {
-		if s != w.e.self && w.e.foreign != nil && w.e.stats != nil {
-			w.e.stats.RecordStealVictim(w.e.foreign[s])
+		if s != w.e.self && w.e.foreign != nil {
+			if w.e.stats != nil {
+				w.e.stats.RecordStealVictim(w.e.foreign[s])
+			}
+			if w.e.foreign[s] && w.e.tr != nil {
+				w.e.tr.Record(trace.TenantForeignSteal, int32(s), int32(got))
+			}
 		}
 		w.term.SawProgress()
 	} else {

@@ -11,6 +11,7 @@ import (
 	"pools/internal/policy"
 	"pools/internal/rng"
 	"pools/internal/search"
+	"pools/internal/trace"
 	"pools/internal/workload"
 )
 
@@ -39,7 +40,27 @@ type RealRunConfig struct {
 	// this one (see core.Options.Topology).
 	Topology numa.Topology
 	Directed bool // enable the Section 5 directed-adds extension
+	// TraceBuf, when positive, attaches a flight recorder of that many
+	// events per handle (core.Options.TraceBuf); the recorded timelines
+	// come back in RealRunResult.Timelines.
+	TraceBuf int
+	// Publish, when non-nil, is called by each worker with a copy of its
+	// own handle's statistics every publishEvery operations and once as
+	// it exits. Per-handle stats are unsynchronized — only the owning
+	// worker may read them mid-run — so this callback is the race-safe
+	// window a live observer (harness.StartLive, the introspection
+	// endpoint) gets into an in-flight run. The callback runs on the
+	// worker goroutine: keep it short.
+	Publish func(worker int, s metrics.PoolStats)
+	// onPool hands the constructed pool to a same-package observer
+	// (StartLive) before any worker starts, for mid-run recorder dumps.
+	onPool func(p *core.Pool[int])
 }
+
+// publishEvery is the operation interval between RealRunConfig.Publish
+// snapshots. Coarse enough to stay off the hot path, fine enough that a
+// live dashboard never lags the run by more than a few hundred µs.
+const publishEvery = 64
 
 // RealRunResult carries the measurements of one wall-clock trial.
 type RealRunResult struct {
@@ -50,6 +71,9 @@ type RealRunResult struct {
 	// scheduled arrival, wall-clock µs) under the OpenLoop model; nil for
 	// closed-loop models.
 	Sojourns []metrics.LatencyHist
+	// Timelines are the per-handle flight-recorder snapshots (only when
+	// RealRunConfig.TraceBuf), on the wall clock in µs since pool start.
+	Timelines []trace.Timeline
 }
 
 // RealRun executes one trial with real goroutines and returns its
@@ -69,9 +93,13 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 		Topology:     cfg.Topology,
 		DirectedAdds: cfg.Directed,
 		CollectStats: true,
+		TraceBuf:     cfg.TraceBuf,
 	})
 	if err != nil {
 		return RealRunResult{}, err
+	}
+	if cfg.onPool != nil {
+		cfg.onPool(p)
 	}
 	seed := make([]int, wl.InitialElements)
 	p.SeedEvenly(seed)
@@ -92,6 +120,20 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 			defer wg.Done()
 			h := p.Handle(id)
 			ch := workload.NewChooser(wl, id, cfg.Seed)
+			ticks := 0
+			tick := func() {
+				if cfg.Publish == nil {
+					return
+				}
+				if ticks++; ticks%publishEvery == 0 {
+					cfg.Publish(id, h.Stats())
+				}
+			}
+			defer func() {
+				if cfg.Publish != nil {
+					cfg.Publish(id, h.Stats())
+				}
+			}()
 			if wl.Model == workload.OpenLoop {
 				// Open loop on the wall clock: claim the budget first (so
 				// exhaustion never waits out one more arrival gap), spin to
@@ -122,6 +164,7 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 						}
 					}
 					sojourns[id].Record(time.Since(start).Microseconds() - arrival)
+					tick()
 				}
 				h.Close()
 				return
@@ -149,6 +192,7 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 						}
 						budget.Refund(take - consumed)
 					}
+					tick()
 					runtime.Gosched()
 				}
 				h.Close()
@@ -165,6 +209,7 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 				// paper's processes each ran on their own processor;
 				// without this, one goroutine's cheap aborted removes
 				// can burn the whole budget before producers run).
+				tick()
 				runtime.Gosched()
 			}
 			// Withdraw so stragglers stuck searching can abort.
@@ -179,6 +224,7 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 		Elapsed:   elapsed,
 		Remaining: p.Len(),
 		Sojourns:  sojourns,
+		Timelines: p.Timelines(),
 	}, nil
 }
 

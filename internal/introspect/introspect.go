@@ -1,0 +1,199 @@
+// Package introspect serves the live debugging surface for a pool run:
+// net/http/pprof profiles, expvar-published PoolStats snapshots, a
+// plain-text stats digest, and a /trace endpoint that dumps the
+// flight-recorder timelines as Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto) or CSV.
+//
+// The package is deliberately thin: it renders whatever a Source shows
+// it and owns no synchronization of its own beyond the current-source
+// pointer. harness.StartLive is the canonical Source — its Stats merges
+// worker-published snapshots and its recorder dumps are internally
+// locked, so every endpoint here is safe to hit mid-run.
+//
+// Endpoints:
+//
+//	/              index listing the routes below
+//	/stats         one-line PoolStats digest (metrics.PoolStats.Summary)
+//	/trace         Chrome trace JSON of all handles; ?handle=N for one
+//	               track, ?format=csv for the flat event log
+//	/debug/vars    expvar, including the "poolstats" snapshot object
+//	/debug/pprof/  the standard pprof index (profile, heap, trace, ...)
+package introspect
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+
+	"pools/internal/metrics"
+	"pools/internal/trace"
+)
+
+// Source is a run that can be observed while in flight. Implementations
+// must make every method safe to call concurrently with the run's own
+// workers (see harness.Live). Timelines returns nil when the run was
+// started without a flight recorder.
+type Source interface {
+	Stats() metrics.PoolStats
+	Timelines() []trace.Timeline
+	Timeline(handle int) trace.Timeline
+}
+
+var (
+	srcMu sync.Mutex
+	cur   Source
+
+	// expvar.Publish panics on duplicate names and the expvar registry
+	// is process-global, so the "poolstats" var is published once and
+	// reads whatever Source is current.
+	publishOnce sync.Once
+)
+
+func setSource(s Source) {
+	srcMu.Lock()
+	cur = s
+	srcMu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("poolstats", expvar.Func(snapshot))
+	})
+}
+
+func source() Source {
+	srcMu.Lock()
+	defer srcMu.Unlock()
+	return cur
+}
+
+// snapshot renders the current source's stats as the expvar "poolstats"
+// object: headline counters, the interference and cross-probe fractions,
+// and the per-op latency quantiles in µs.
+func snapshot() any {
+	s := source()
+	if s == nil {
+		return nil
+	}
+	st := s.Stats()
+	return map[string]any{
+		"ops":                st.Ops(),
+		"adds":               st.Adds,
+		"removes":            st.Removes,
+		"steals":             st.Steals,
+		"aborts":             st.Aborts,
+		"steal_interference": st.StealInterference(),
+		"cross_probe_frac":   st.CrossProbeFraction(),
+		"oplat_p50_us":       st.OpLat.P50(),
+		"oplat_p99_us":       st.OpLat.P99(),
+		"oplat_p999_us":      st.OpLat.P999(),
+		"summary":            st.Summary(),
+	}
+}
+
+// NewMux builds the introspection routes over src and registers src as
+// the expvar "poolstats" source. Mount it on any server, or use Serve.
+func NewMux(src Source) *http.ServeMux {
+	setSource(src)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/stats", statsHandler)
+	mux.HandleFunc("/trace", traceHandler)
+	mux.HandleFunc("/", indexHandler)
+	return mux
+}
+
+func indexHandler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `pool introspection endpoints:
+  /stats         one-line stats digest
+  /trace         Chrome trace JSON (?handle=N for one track, ?format=csv for CSV)
+  /debug/vars    expvar (see "poolstats")
+  /debug/pprof/  pprof index
+`)
+}
+
+func statsHandler(w http.ResponseWriter, r *http.Request) {
+	s := source()
+	if s == nil {
+		http.Error(w, "no run attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	st := s.Stats()
+	fmt.Fprintln(w, st.Summary())
+}
+
+func traceHandler(w http.ResponseWriter, r *http.Request) {
+	s := source()
+	if s == nil {
+		http.Error(w, "no run attached", http.StatusServiceUnavailable)
+		return
+	}
+	var tls []trace.Timeline
+	if q := r.URL.Query().Get("handle"); q != "" {
+		h, err := strconv.Atoi(q)
+		if err != nil {
+			http.Error(w, "bad handle: "+q, http.StatusBadRequest)
+			return
+		}
+		tls = []trace.Timeline{s.Timeline(h)}
+	} else {
+		tls = s.Timelines()
+	}
+	if len(tls) == 0 {
+		http.Error(w, "tracing disabled: run without a trace buffer", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := trace.WriteCSV(w, tls); err != nil {
+			return // client went away mid-dump; nothing to clean up
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := trace.ChromeJSON(w, tls); err != nil {
+		return
+	}
+}
+
+// Server is a running introspection listener.
+type Server struct {
+	// Addr is the bound address, with the real port when the requested
+	// one was :0.
+	Addr string
+	srv  *http.Server
+}
+
+// Serve binds addr (e.g. "localhost:6060", or ":0" for an ephemeral
+// port), registers src, and serves the introspection mux in the
+// background until Close.
+func Serve(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(src)}
+	s := &Server{Addr: ln.Addr().String(), srv: srv}
+	go func() {
+		// ErrServerClosed after Close is the normal shutdown path; any
+		// other error means the listener died and endpoints are gone,
+		// which the next request will surface.
+		_ = srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -31,6 +31,7 @@ package keyed
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"pools/internal/engine"
 	"pools/internal/metrics"
@@ -38,6 +39,7 @@ import (
 	"pools/internal/policy"
 	"pools/internal/search"
 	"pools/internal/segment"
+	"pools/internal/trace"
 )
 
 // Options configures a keyed Pool.
@@ -67,6 +69,11 @@ type Options struct {
 	// Policies.Steal instead (policy.Half{}, policy.One{}, ...), which
 	// also admits the adaptive and per-handle policies.
 	Steal policy.StealAmount
+	// TraceBuf, when positive, attaches a flight recorder of that many
+	// events to every handle (internal/trace): sweep probes, bucket
+	// reserve/transfer edges, and termination verdicts, timestamped in
+	// microseconds since pool creation. Zero disables tracing.
+	TraceBuf int
 }
 
 // Pool is a concurrent pool of key-classed elements. Create with New.
@@ -75,6 +82,7 @@ type Pool[K comparable, V any] struct {
 	pol     policy.Set // resolved policies (no nil slots)
 	segs    []seg[K, V]
 	handles []*Handle[K, V]
+	epoch   time.Time // flight-recorder time zero (tracing only)
 }
 
 type seg[K comparable, V any] struct {
@@ -122,6 +130,9 @@ func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
 	if opts.Sweeps < 0 {
 		return nil, fmt.Errorf("keyed: Sweeps = %d, need >= 0", opts.Sweeps)
 	}
+	if opts.TraceBuf < 0 {
+		return nil, fmt.Errorf("keyed: TraceBuf = %d, need >= 0", opts.TraceBuf)
+	}
 	pol := opts.Policies
 	if pol.Steal == nil {
 		pol.Steal = opts.Steal // deprecated alias; nil is filled below
@@ -153,6 +164,12 @@ func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
 		if srch == nil {
 			srch = search.NewLinearSearcher(i)
 		}
+		if opts.TraceBuf > 0 {
+			if p.epoch.IsZero() {
+				p.epoch = time.Now()
+			}
+			h.tr = trace.NewRecorder(i, opts.TraceBuf, p.traceClock)
+		}
 		h.eng = engine.New(engine.Config{
 			Self:      i,
 			Segments:  opts.Segments,
@@ -161,11 +178,33 @@ func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
 			Stats:     &h.stats,
 			Searcher:  srch,
 			SizeProbe: h.sizeProbe(),
+			Tracer:    h.tr,
 		}, &h.sub, engine.NewBounded(opts.Segments*opts.Sweeps))
 		h.steal = h.eng.StealAmount()
 		p.handles[i] = h
 	}
 	return p, nil
+}
+
+// traceClock is the flight recorder's wall clock: microseconds since
+// pool creation, shared by every handle so their tracks align.
+func (p *Pool[K, V]) traceClock() int64 { return time.Since(p.epoch).Microseconds() }
+
+// Tracer returns segment i's flight recorder, nil unless the pool was
+// built with Options.TraceBuf > 0.
+func (p *Pool[K, V]) Tracer(i int) *trace.Recorder { return p.handles[i].tr }
+
+// Timelines snapshots every handle's flight recorder for export, nil
+// when tracing is disabled.
+func (p *Pool[K, V]) Timelines() []trace.Timeline {
+	if p.opts.TraceBuf <= 0 {
+		return nil
+	}
+	recs := make([]*trace.Recorder, len(p.handles))
+	for i, h := range p.handles {
+		recs[i] = h.tr
+	}
+	return trace.Collect(recs...)
 }
 
 // Segments returns the number of segments.
@@ -210,7 +249,8 @@ type Handle[K comparable, V any] struct {
 	eng      *engine.Engine
 	steal    policy.StealAmount // resolved steal amount, cached off the engine for the probe loop
 	sub      keyedSubstrate
-	stealBuf []V // reused bucket-steal buffer (reserve under the victim's lock, deposit outside)
+	stealBuf []V             // reused bucket-steal buffer (reserve under the victim's lock, deposit outside)
+	tr       *trace.Recorder // flight recorder (nil unless Options.TraceBuf > 0)
 
 	// stats carries the remote-probe accounting under Options.Topology
 	// (unsynchronized, like the plain pool's per-handle stats; read via
@@ -441,6 +481,9 @@ func (h *Handle[K, V]) stealNFrom(sIdx int, k K, max int) []V {
 		src.drop(k, srcB)
 	}
 	src.mu.Unlock()
+	if h.tr != nil {
+		h.tr.Record(trace.ReserveTransfer, int32(sIdx), int32(len(buf)))
+	}
 
 	moved := len(buf)
 	n := moved
@@ -521,6 +564,9 @@ func (h *Handle[K, V]) stealAnyFrom(sIdx int) (K, V, bool) {
 		src.drop(key, srcB)
 	}
 	src.mu.Unlock()
+	if h.tr != nil {
+		h.tr.Record(trace.ReserveTransfer, int32(sIdx), int32(len(buf)))
+	}
 
 	moved := len(buf)
 	v := buf[moved-1]

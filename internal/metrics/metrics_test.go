@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -259,5 +260,32 @@ func TestPoolStatsEmptyRatios(t *testing.T) {
 func TestOpKindString(t *testing.T) {
 	if OpAdd.String() != "add" || OpRemove.String() != "remove" || OpKind(0).String() != "unknown" {
 		t.Fatal("OpKind.String wrong")
+	}
+}
+
+func TestPoolStatsSummary(t *testing.T) {
+	var s PoolStats
+	s.RecordAdd(10)
+	s.RecordLocalRemove(20)
+	s.RecordStealRemove(30, 15, 2, 4)
+	s.RecordAbort(40)
+	s.RecordStealVictim(true)
+	s.RecordStealVictim(false)
+	s.RecordProbe(true)
+	s.RecordProbe(false)
+	got := s.Summary()
+	// ops = 1 add + 2 completed removes; one steal, one
+	// abort; 1/2 foreign steals; 1/2 cross probes.
+	for _, want := range []string{
+		"ops=3", "steals=1", "aborts=1",
+		"interference=0.500", "cross_probe=0.500",
+		"p50=", "p99=", "p999=",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Summary %q missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "\n") {
+		t.Errorf("Summary is not one line: %q", got)
 	}
 }

@@ -1,5 +1,7 @@
 package metrics
 
+import "fmt"
+
 // OpKind identifies the kind of pool operation being measured.
 type OpKind int
 
@@ -263,6 +265,18 @@ func (s *PoolStats) StealInterference() float64 {
 		return 0
 	}
 	return float64(s.ForeignSteals) / float64(s.TenantSteals)
+}
+
+// Summary renders the collector's headline numbers as one line —
+// element movements, steals, aborts, the steal-interference and
+// cross-probe fractions, and the per-op latency quantiles — the shared
+// format behind poolbench's report footers and the introspection
+// endpoint's expvar snapshot, so every surface prints the same digest.
+func (s *PoolStats) Summary() string {
+	return fmt.Sprintf(
+		"ops=%d steals=%d aborts=%d interference=%.3f cross_probe=%.3f p50=%.0fµs p99=%.0fµs p999=%.0fµs",
+		s.Ops(), s.Steals, s.Aborts, s.StealInterference(), s.CrossProbeFraction(),
+		s.OpLat.P50(), s.OpLat.P99(), s.OpLat.P999())
 }
 
 // MixAchieved returns the fraction of completed element movements that

@@ -1,0 +1,129 @@
+package sim
+
+// Flight-recorder coverage on the simulated substrate: a seeded run's
+// event timeline is deterministic (the recorder stamps the virtual
+// clock), so the Chrome trace-event export can be pinned byte-for-byte
+// by a golden file — the committed schema `make trace-smoke` and the
+// poolbench -trace path are validated against. Regenerate after an
+// intentional protocol or exporter change with
+//
+//	go test ./internal/sim -run TestGoldenChromeTrace -update-golden
+//
+// and review the diff like any other golden update.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pools/internal/numa"
+	"pools/internal/search"
+	"pools/internal/trace"
+	"pools/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden trace files")
+
+// goldenRun is the pinned 2-handle configuration: a consumer-heavy mix
+// over a small seed forces searches, steals, reserve/transfer edges,
+// and termination verdicts onto both tracks.
+func goldenRun() RunResult {
+	return Run(RunConfig{
+		Workload: workload.Config{
+			Procs:           2,
+			Model:           workload.RandomOps,
+			AddFraction:     0.3,
+			TotalOps:        80,
+			InitialElements: 6,
+		},
+		Search:   search.Linear,
+		Costs:    numa.ButterflyCosts(),
+		Seed:     7,
+		EventBuf: 512,
+	})
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	res := goldenRun()
+	if len(res.Events) != 2 {
+		t.Fatalf("timelines = %d, want 2", len(res.Events))
+	}
+	for _, tl := range res.Events {
+		if len(tl.Events) == 0 {
+			t.Fatalf("handle %d recorded no events", tl.Handle)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := trace.ChromeJSON(&buf, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace diverged from golden file (len %d vs %d); "+
+			"if the protocol or exporter changed intentionally, rerun with -update-golden",
+			buf.Len(), len(want))
+	}
+
+	// The run is deterministic end to end: a second run must produce the
+	// identical timeline, not merely the same shape.
+	again := goldenRun()
+	var buf2 bytes.Buffer
+	if err := trace.ChromeJSON(&buf2, again.Events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("seeded trace is not deterministic across runs")
+	}
+}
+
+// TestEventTimelineContent sanity-checks the recorded protocol against
+// the run's aggregate stats: every steal the stats counted appears as a
+// reserve/transfer edge, and searches are balanced begin/end.
+func TestEventTimelineContent(t *testing.T) {
+	res := goldenRun()
+	var transfers, begins, ends int64
+	var moved int64
+	for _, tl := range res.Events {
+		if tl.Dropped != 0 {
+			t.Errorf("handle %d dropped %d events; grow EventBuf", tl.Handle, tl.Dropped)
+		}
+		for _, ev := range tl.Events {
+			switch ev.Kind {
+			case trace.ReserveTransfer:
+				transfers++
+				moved += int64(ev.Arg2)
+			case trace.SearchBegin:
+				begins++
+			case trace.SearchEnd:
+				ends++
+			}
+		}
+	}
+	if transfers != res.Stats.Steals {
+		t.Errorf("reserve_transfer events = %d, stats.Steals = %d", transfers, res.Stats.Steals)
+	}
+	if want := int64(res.Stats.ElementsStolen.Sum()); moved != want {
+		t.Errorf("transferred elements on timeline = %d, stats say %d", moved, want)
+	}
+	if begins != ends {
+		t.Errorf("unbalanced searches: %d begins, %d ends", begins, ends)
+	}
+	if begins == 0 {
+		t.Error("golden run performed no searches; config too gentle to pin the protocol")
+	}
+}

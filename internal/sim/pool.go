@@ -10,6 +10,7 @@ import (
 	"pools/internal/rng"
 	"pools/internal/search"
 	"pools/internal/segment"
+	"pools/internal/trace"
 )
 
 // PoolConfig configures a simulated concurrent pool.
@@ -43,6 +44,11 @@ type PoolConfig struct {
 	// virtual milliseconds. An open-loop remove instead times out quickly
 	// (an abort, charged for its probes) and the arrival stream moves on.
 	SearchLaps int
+	// EventBuf, when positive, attaches a flight recorder of that many
+	// events to every processor (internal/trace), timestamped on the
+	// simulator's virtual clock — so the recorded protocol timeline is
+	// deterministic for a given seed and can be pinned by golden files.
+	EventBuf int
 }
 
 // Pool is a concurrent pool living inside a simulation: segments hold real
@@ -66,6 +72,7 @@ type Pool[T any] struct {
 	emptyAbort   bool // latched when all participants were seen searching
 
 	traces []metrics.Trace
+	recs   []*trace.Recorder // per-proc flight recorders (EventBuf only)
 }
 
 // Token is the element type for workload experiments where element values
@@ -109,7 +116,20 @@ func NewPool[T any](cfg PoolConfig) *Pool[T] {
 	if cfg.Trace {
 		p.traces = make([]metrics.Trace, cfg.Procs)
 	}
+	if cfg.EventBuf > 0 {
+		p.recs = make([]*trace.Recorder, cfg.Procs)
+	}
 	return p
+}
+
+// Timelines snapshots every processor's flight recorder for export,
+// nil unless PoolConfig.EventBuf was set. Processors that never bound
+// a Proc contribute no timeline.
+func (p *Pool[T]) Timelines() []trace.Timeline {
+	if p.recs == nil {
+		return nil
+	}
+	return trace.Collect(p.recs...)
 }
 
 // BatchSize returns the batch size the pool-wide controller recommends
@@ -179,6 +199,7 @@ type Proc[T any] struct {
 	eng   *engine.Engine
 	steal policy.StealAmount // resolved steal amount, cached off the engine for the probe loop
 	stats metrics.PoolStats
+	tr    *trace.Recorder // flight recorder (nil unless PoolConfig.EventBuf > 0)
 	sub   simSubstrate[T]
 }
 
@@ -192,6 +213,12 @@ func (p *Pool[T]) Proc(env *Env) *Proc[T] {
 	if p.cfg.SearchLaps > 0 {
 		term = engine.NewBounded(p.cfg.SearchLaps * p.cfg.Procs)
 	}
+	var rec *trace.Recorder
+	if p.recs != nil {
+		rec = trace.NewRecorder(id, p.cfg.EventBuf, env.Now)
+		p.recs[id] = rec
+		pr.tr = rec
+	}
 	pr.eng = engine.New(engine.Config{
 		Self:      id,
 		Segments:  p.cfg.Procs,
@@ -200,6 +227,7 @@ func (p *Pool[T]) Proc(env *Env) *Proc[T] {
 		Topology:  p.cfg.Costs.Topo,
 		Stats:     &pr.stats,
 		SizeProbe: pr.sizeProbe(),
+		Tracer:    rec,
 	}, &pr.sub, term)
 	pr.steal = pr.eng.StealAmount()
 	return pr
@@ -432,6 +460,9 @@ func (w *simSubstrate[T]) Probe(s, want int) int {
 	w.has = true
 	p.recordTrace(env, s)
 	p.recordTrace(env, pr.id)
+	if pr.tr != nil {
+		pr.tr.Record(trace.ReserveTransfer, int32(s), int32(moved))
+	}
 	return moved
 }
 

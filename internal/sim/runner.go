@@ -5,6 +5,7 @@ import (
 	"pools/internal/numa"
 	"pools/internal/policy"
 	"pools/internal/search"
+	"pools/internal/trace"
 	"pools/internal/workload"
 )
 
@@ -27,6 +28,10 @@ type RunConfig struct {
 	// (steal fraction and recommended batch size sampled after every
 	// operation); meaningful only for sets with a Controller.
 	ControlTrace bool
+	// EventBuf, when positive, attaches a flight recorder of that many
+	// events to every processor (PoolConfig.EventBuf); the recorded
+	// timelines come back in RunResult.Events, deterministic for a seed.
+	EventBuf int
 }
 
 // ControllerTrace is one processor's controller trajectory over virtual
@@ -66,6 +71,9 @@ type RunResult struct {
 	Sojourns []metrics.LatencyHist
 	// Remaining is the number of elements left in the pool at the end.
 	Remaining int
+	// Events are the per-processor flight-recorder timelines (only when
+	// RunConfig.EventBuf), on the virtual clock.
+	Events []trace.Timeline
 }
 
 // Run executes one trial and returns its measurements. It is deterministic
@@ -92,6 +100,7 @@ func Run(cfg RunConfig) RunResult {
 		StealOne:   cfg.StealOne,
 		Trace:      cfg.Trace,
 		SearchLaps: searchLaps,
+		EventBuf:   cfg.EventBuf,
 	})
 	pool.Seed(wl.InitialElements, func(int) Token { return Token{} })
 
@@ -214,6 +223,7 @@ func Run(cfg RunConfig) RunResult {
 		Controls:      controls,
 		Remaining:     pool.Len(),
 		Sojourns:      sojourns,
+		Events:        pool.Timelines(),
 	}
 	for id, pr := range procs {
 		res.PerProc[id] = *pr.Stats()

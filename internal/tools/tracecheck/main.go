@@ -1,0 +1,134 @@
+// Command tracecheck validates a Chrome trace-event JSON file against
+// the schema the flight-recorder exporter (internal/trace.ChromeJSON)
+// commits to: a {"traceEvents": [...]} document whose events all carry a
+// name, a known phase, and pid/tid coordinates; complete ("X") slices
+// carry non-negative timestamps and durations; and every referenced
+// track is introduced by a thread_name metadata record. CI's trace-smoke
+// target runs it over a fresh `poolbench -trace` dump so a drifting
+// exporter fails the build rather than silently producing files Perfetto
+// rejects.
+//
+// Usage:
+//
+//	tracecheck file.json...
+//
+// Exits non-zero with one line per violation.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// event mirrors the exporter's wire format loosely: unknown fields are
+// ignored, missing ones are validated explicitly.
+type event struct {
+	Name *string        `json:"name"`
+	Ph   *string        `json:"ph"`
+	TS   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+type document struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+// check validates one file and returns its violations.
+func check(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{fmt.Sprintf("%s: not valid JSON: %v", path, err)}
+	}
+	var errs []string
+	bad := func(i int, format string, a ...any) {
+		errs = append(errs, fmt.Sprintf("%s: event %d: %s", path, i, fmt.Sprintf(format, a...)))
+	}
+	if len(doc.TraceEvents) == 0 {
+		return []string{fmt.Sprintf("%s: traceEvents is empty or missing", path)}
+	}
+	// Tracks named by metadata, then tracks used by real events.
+	named := map[[2]int]bool{}
+	used := map[[2]int]bool{}
+	sawThreadName := false
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == nil || *ev.Name == "" {
+			bad(i, "missing name")
+			continue
+		}
+		if ev.Ph == nil {
+			bad(i, "%q: missing ph", *ev.Name)
+			continue
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			bad(i, "%q: missing pid/tid", *ev.Name)
+			continue
+		}
+		track := [2]int{*ev.Pid, *ev.Tid}
+		switch *ev.Ph {
+		case "M":
+			if *ev.Name == "thread_name" {
+				sawThreadName = true
+				named[track] = true
+			}
+		case "X":
+			used[track] = true
+			if ev.TS == nil || *ev.TS < 0 {
+				bad(i, "%q: X slice needs ts >= 0", *ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				bad(i, "%q: X slice needs dur >= 0", *ev.Name)
+			}
+		case "i":
+			used[track] = true
+			if ev.TS == nil || *ev.TS < 0 {
+				bad(i, "%q: instant needs ts >= 0", *ev.Name)
+			}
+			if ev.S != "" && ev.S != "t" && ev.S != "p" && ev.S != "g" {
+				bad(i, "%q: instant scope %q not one of t/p/g", *ev.Name, ev.S)
+			}
+		default:
+			bad(i, "%q: unknown phase %q (want X, i, or M)", *ev.Name, *ev.Ph)
+		}
+	}
+	if !sawThreadName {
+		errs = append(errs, fmt.Sprintf("%s: no thread_name metadata; tracks would be anonymous", path))
+	}
+	for track := range used {
+		if !named[track] {
+			errs = append(errs, fmt.Sprintf("%s: track pid=%d tid=%d has events but no thread_name metadata",
+				path, track[0], track[1]))
+		}
+	}
+	return errs
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck file.json...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		errs := check(path)
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		if len(errs) > 0 {
+			failed = true
+		} else {
+			fmt.Printf("%s: ok\n", path)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pools/internal/trace"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckAcceptsExporterOutput(t *testing.T) {
+	tls := []trace.Timeline{{Handle: 0, Events: []trace.Event{
+		{TS: 1, Kind: trace.SearchBegin, Arg1: 1},
+		{TS: 4, Kind: trace.ProbeCross, Arg1: 2, Arg2: 3},
+		{TS: 9, Kind: trace.SearchEnd, Arg1: 3, Arg2: 2},
+	}}}
+	var buf bytes.Buffer
+	if err := trace.ChromeJSON(&buf, tls); err != nil {
+		t.Fatal(err)
+	}
+	path := writeFile(t, "good.json", buf.String())
+	if errs := check(path); len(errs) != 0 {
+		t.Errorf("exporter output rejected: %v", errs)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"not-json", "{", "not valid JSON"},
+		{"empty", `{"traceEvents":[]}`, "empty or missing"},
+		{"no-name", `{"traceEvents":[{"ph":"i","ts":1,"pid":0,"tid":0}]}`, "missing name"},
+		{"no-ph", `{"traceEvents":[{"name":"x","ts":1,"pid":0,"tid":0}]}`, "missing ph"},
+		{"no-track", `{"traceEvents":[{"name":"x","ph":"i","ts":1}]}`, "missing pid/tid"},
+		{"bad-phase", `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":0,"tid":0}]}`, "unknown phase"},
+		{"negative-dur", `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":-2,"pid":0,"tid":0}]}`, "dur >= 0"},
+		{"bad-scope", `{"traceEvents":[{"name":"x","ph":"i","ts":1,"s":"q","pid":0,"tid":0}]}`, "not one of t/p/g"},
+		{"no-thread-name", `{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":0,"tid":0}]}`, "no thread_name"},
+		{"anonymous-track", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"handle 0"}},
+			{"name":"x","ph":"i","ts":1,"pid":0,"tid":7}]}`, "no thread_name metadata"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := check(writeFile(t, tc.name+".json", tc.body))
+			if len(errs) == 0 {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			joined := strings.Join(errs, "\n")
+			if !strings.Contains(joined, tc.want) {
+				t.Errorf("errors %q missing %q", joined, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	if errs := check(filepath.Join(t.TempDir(), "absent.json")); len(errs) == 0 {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Chrome trace-event and CSV exporters for flight-recorder timelines.
+//
+// The Chrome format is the JSON-array-of-events schema consumed by
+// chrome://tracing and https://ui.perfetto.dev: metadata events name
+// the process and one thread ("track") per handle, steal searches
+// become complete ("X") slices whose color encodes the farthest
+// topology ring the search escalated to, and every other protocol
+// event is an instant ("i") on its handle's track. Output is fully
+// deterministic for a given timeline set — events are emitted in
+// timeline order with struct-field JSON (no map iteration) — so a
+// seeded sim run can be pinned by a golden file.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the trace-event JSON array. Field order
+// here is the field order in the output.
+type chromeEvent struct {
+	Name  string      `json:"name"`
+	Ph    string      `json:"ph"`
+	TS    int64       `json:"ts"`
+	Dur   int64       `json:"dur,omitempty"`
+	Pid   int         `json:"pid"`
+	Tid   int         `json:"tid"`
+	Scope string      `json:"s,omitempty"`
+	Cname string      `json:"cname,omitempty"`
+	Args  *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries the kind-specific arguments. A struct rather than
+// a map keeps key order (and therefore golden files) deterministic.
+type chromeArgs struct {
+	Name string `json:"name,omitempty"`
+	A    *int32 `json:"arg1,omitempty"`
+	B    *int32 `json:"arg2,omitempty"`
+	Want *int32 `json:"want,omitempty"`
+	Got  *int32 `json:"got,omitempty"`
+	Ring *int32 `json:"ring,omitempty"`
+}
+
+// ringColor maps the farthest ring a search reached to a Chrome
+// reserved color name: local-cluster searches are green, each
+// escalation ring steps through the warning palette.
+func ringColor(ring int32) string {
+	switch {
+	case ring <= 1:
+		return "good"
+	case ring == 2:
+		return "bad"
+	default:
+		return "terrible"
+	}
+}
+
+// instantColor picks a track color for non-slice events so the dense
+// instants are visually separable in Perfetto.
+func instantColor(k Kind) string {
+	switch k {
+	case ProbeCross, TenantForeignSteal:
+		return "terrible"
+	case EscalateRing:
+		return "bad"
+	case ReserveTransfer:
+		return "good"
+	case GiftSend, GiftRecv, DirectPlace:
+		return "generic_work"
+	default:
+		return ""
+	}
+}
+
+// ChromeJSON writes the timelines as Chrome trace-event JSON: one
+// process, one thread per handle, searches as colored complete slices
+// and all other events as instants. The output loads directly in
+// chrome://tracing or Perfetto and is byte-deterministic for a given
+// input.
+func ChromeJSON(w io.Writer, tls []Timeline) error {
+	events := make([]chromeEvent, 0, 64)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: &chromeArgs{Name: "pools"},
+	})
+	for _, tl := range tls {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tl.Handle,
+			Args: &chromeArgs{Name: fmt.Sprintf("handle %d", tl.Handle)},
+		})
+	}
+	for _, tl := range tls {
+		events = append(events, chromeTrack(tl)...)
+	}
+	enc, err := json.Marshal(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(enc, '\n'))
+	return err
+}
+
+// chromeTrack converts one handle's events into its track: paired
+// SearchBegin/SearchEnd become an "X" slice (aborted searches are
+// named search_aborted), everything else an "i" instant.
+func chromeTrack(tl Timeline) []chromeEvent {
+	out := make([]chromeEvent, 0, len(tl.Events))
+	var open *Event // pending SearchBegin
+	aborted := false
+	for i := range tl.Events {
+		ev := tl.Events[i]
+		switch ev.Kind {
+		case SearchBegin:
+			open = &tl.Events[i]
+			aborted = false
+		case TerminationAborted:
+			aborted = true
+			out = append(out, instant(tl.Handle, ev))
+		case SearchEnd:
+			if open == nil {
+				// The begin fell off the ring; emit the end as an
+				// instant so the data is not silently lost.
+				out = append(out, instant(tl.Handle, ev))
+				continue
+			}
+			name := "search"
+			if aborted {
+				name = "search_aborted"
+			}
+			want, got, ring := open.Arg1, ev.Arg1, ev.Arg2
+			out = append(out, chromeEvent{
+				Name: name, Ph: "X", TS: open.TS, Dur: ev.TS - open.TS,
+				Pid: 0, Tid: tl.Handle, Cname: ringColor(ring),
+				Args: &chromeArgs{Want: &want, Got: &got, Ring: &ring},
+			})
+			open = nil
+		default:
+			out = append(out, instant(tl.Handle, ev))
+		}
+	}
+	if open != nil {
+		// A search was still in flight at snapshot time.
+		w := open.Arg1
+		out = append(out, chromeEvent{
+			Name: "search_begin", Ph: "i", TS: open.TS, Pid: 0,
+			Tid: tl.Handle, Scope: "t", Args: &chromeArgs{Want: &w},
+		})
+	}
+	return out
+}
+
+// instant renders one event as a thread-scoped instant.
+func instant(handle int, ev Event) chromeEvent {
+	a, b := ev.Arg1, ev.Arg2
+	return chromeEvent{
+		Name: ev.Kind.String(), Ph: "i", TS: ev.TS, Pid: 0, Tid: handle,
+		Scope: "t", Cname: instantColor(ev.Kind),
+		Args: &chromeArgs{A: &a, B: &b},
+	}
+}
+
+// WriteCSV writes the timelines as flat CSV (`ts,handle,event,arg1,
+// arg2`), merged across handles in timestamp order so the file reads
+// as one interleaved protocol log. Ties keep handle order, so output
+// is deterministic.
+func WriteCSV(w io.Writer, tls []Timeline) error {
+	if _, err := fmt.Fprintln(w, "ts,handle,event,arg1,arg2"); err != nil {
+		return err
+	}
+	// K-way merge by timestamp across the (already time-sorted)
+	// per-handle timelines.
+	idx := make([]int, len(tls))
+	for {
+		best := -1
+		for i, tl := range tls {
+			if idx[i] >= len(tl.Events) {
+				continue
+			}
+			if best < 0 || tl.Events[idx[i]].TS < tls[best].Events[idx[best]].TS {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		ev := tls[best].Events[idx[best]]
+		idx[best]++
+		if _, err := fmt.Fprintf(w, "%d,%d,%s,%d,%d\n",
+			ev.TS, tls[best].Handle, ev.Kind, ev.Arg1, ev.Arg2); err != nil {
+			return err
+		}
+	}
+}

@@ -109,10 +109,13 @@
 package pools
 
 import (
+	"io"
+
 	"pools/internal/core"
 	"pools/internal/numa"
 	"pools/internal/policy"
 	"pools/internal/search"
+	"pools/internal/trace"
 )
 
 // Pool is a concurrent pool of T. See core.Pool.
@@ -261,6 +264,35 @@ const (
 	SearchRandom = search.Random
 	SearchTree   = search.Tree
 )
+
+// Flight-recorder types, so callers can name what Options.TraceBuf turns
+// on and Pool.Timelines/Pool.Tracer return. The recorder is a per-handle
+// fixed-size ring of typed protocol events (probes, reserve/transfer
+// edges, gifts, escalations, termination verdicts); recording is
+// allocation-free and disabled entirely when TraceBuf is 0. See
+// internal/trace and docs/OBSERVABILITY.md.
+type (
+	// TraceEvent is one recorded protocol event.
+	TraceEvent = trace.Event
+	// TraceKind identifies a TraceEvent's type (its String is the
+	// snake_case name used in exports).
+	TraceKind = trace.Kind
+	// TraceTimeline is one handle's recorded history, oldest first.
+	TraceTimeline = trace.Timeline
+	// TraceRecorder is the per-handle ring recorder itself; safe to dump
+	// while its handle keeps recording.
+	TraceRecorder = trace.Recorder
+)
+
+// WriteChromeTrace exports recorded timelines as Chrome trace-event JSON
+// — load the file in chrome://tracing or Perfetto; each handle renders
+// as its own track with searches as slices and everything else as
+// instants.
+func WriteChromeTrace(w io.Writer, tls []TraceTimeline) error { return trace.ChromeJSON(w, tls) }
+
+// WriteTraceCSV exports recorded timelines as a flat CSV event log
+// (ts,handle,event,arg1,arg2), merged across handles by timestamp.
+func WriteTraceCSV(w io.Writer, tls []TraceTimeline) error { return trace.WriteCSV(w, tls) }
 
 // ErrBadOptions is returned by New for invalid configuration.
 var ErrBadOptions = core.ErrBadOptions
