@@ -6,7 +6,7 @@ GO ?= go
 # (baseline was 87.9% when the gate was introduced).
 COVER_FLOOR ?= 85.0
 
-.PHONY: build test race fuzz-smoke bench-smoke vet cover policy-smoke docs-check bench-check bench-baseline trace-smoke introspect-smoke ci
+.PHONY: build test race fuzz-smoke bench-smoke vet cover policy-smoke docs-check bench-check bench-baseline trace-smoke introspect-smoke chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDequeScript -fuzztime=10s ./internal/segment
 	$(GO) test -run='^$$' -fuzz=FuzzEngineSearch -fuzztime=10s ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzBoardScript -fuzztime=10s ./internal/ttt
+	$(GO) test -run='^$$' -fuzz=FuzzMembership -fuzztime=10s ./internal/core
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
@@ -78,6 +79,10 @@ docs-check:
 	grep -q "docs/EXPERIMENTS.md" README.md
 	grep -q "docs/WORKLOADS.md" README.md
 	grep -q "docs/OBSERVABILITY.md" README.md
+	grep -q "Membership epochs" docs/ARCHITECTURE.md
+	grep -q '`chaos`' docs/EXPERIMENTS.md
+	grep -q "workload.Churn" docs/WORKLOADS.md
+	grep -q "member_leave" docs/OBSERVABILITY.md
 	$(GO) run ./internal/tools/doclint ./internal/policy ./internal/numa ./internal/engine ./internal/workload ./internal/trace ./internal/introspect
 	$(GO) build -tags docsexamples ./internal/docexamples
 
@@ -89,7 +94,7 @@ trace-smoke:
 	$(GO) run ./cmd/poolbench -trace trace-smoke.json -ops 2000 -procs 8 > /dev/null
 	$(GO) run ./internal/tools/tracecheck trace-smoke.json
 	rm -f trace-smoke.json
-	$(GO) test -run 'TestGoldenChromeTrace|TestEventTimelineContent' -count=1 ./internal/sim
+	$(GO) test -run 'TestGoldenChromeTrace|TestGoldenChromeChaosTrace|TestEventTimelineContent|TestGoldenRuns' -count=1 ./internal/sim
 
 # Introspection smoke: boot a live run on an ephemeral port, scrape the
 # printed address, and hit every endpoint the flag promises (pprof,
@@ -108,4 +113,12 @@ introspect-smoke:
 	echo "introspect-smoke: all endpoints ok"; \
 	wait; rm -f introspect-smoke.out
 
-ci: build vet test race fuzz-smoke bench-smoke cover policy-smoke docs-check trace-smoke introspect-smoke bench-check
+# Chaos smoke: a short seeded failure-injection sweep must run end to
+# end and report recovery in its greppable footer (the full experiment
+# is `-exp chaos`; see docs/EXPERIMENTS.md).
+chaos-smoke:
+	$(GO) run ./cmd/poolbench -exp chaos -trials 1 -ops 2000 > chaos-smoke.out || (cat chaos-smoke.out; exit 1)
+	grep -q 'recovered ' chaos-smoke.out
+	rm -f chaos-smoke.out
+
+ci: build vet test race fuzz-smoke bench-smoke cover policy-smoke docs-check trace-smoke introspect-smoke chaos-smoke bench-check

@@ -13,12 +13,13 @@
 //	poolbench -exp keyedloc -csv        # keyed sweep orders on clusters
 //	poolbench -exp trace -csv           # controller trajectories + event density
 //	poolbench -exp tenants -csv         # open-loop multi-tenant tail latency
+//	poolbench -exp chaos -csv           # failure injection: throughput dip & recovery
 //	poolbench -trace out.json           # flight-recorder dump (chrome://tracing)
 //	poolbench -debug-addr :6060         # live run with pprof/expvar//trace
 //
 // Experiments: fig2, fig3, fig4, fig5, fig6, fig7, algos, arrange, delay,
 // steal, roles, burst, policy, locality, hier, keyedloc, trace, tenants,
-// app, all.
+// chaos, app, all.
 // See docs/EXPERIMENTS.md for what each reproduces and its expected shape,
 // and docs/OBSERVABILITY.md for the flight recorder and the live
 // introspection endpoints.
@@ -49,7 +50,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("poolbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|policy|locality|hier|keyedloc|trace|tenants|app|all")
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|algos|arrange|delay|steal|roles|burst|policy|locality|hier|keyedloc|trace|tenants|chaos|app|all")
 	trials := fs.Int("trials", workload.PaperTrials, "trials averaged per data point")
 	seed := fs.Uint64("seed", 1989, "master seed")
 	ops := fs.Int("ops", workload.PaperTotalOps, "operations per trial")
@@ -269,6 +270,14 @@ var experiments = []experiment{
 		out := harness.RenderTenants(rows)
 		if csv {
 			out += "\n" + harness.TenantsCSV(rows)
+		}
+		return out
+	}},
+	{"chaos", "failure injection: throughput dip and recovery under kill/revive churn", func(cfg harness.Config, _ int, csv bool) string {
+		rows := harness.ChaosSweep(cfg, search.Tree, harness.DefaultChaosSchedules())
+		out := harness.RenderChaos(search.Tree, rows)
+		if csv {
+			out += "\n" + harness.ChaosCSV(rows)
 		}
 		return out
 	}},

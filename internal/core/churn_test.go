@@ -1,0 +1,308 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pools/internal/rng"
+	"pools/internal/search"
+)
+
+// aliveHandle returns the lowest-indexed live handle (tests only call it
+// while at least one member is alive, which Kill guarantees).
+func aliveHandle(p *Pool[int]) *Handle[int] {
+	for i := 0; i < p.Segments(); i++ {
+		if p.Alive(i) {
+			return p.Handle(i)
+		}
+	}
+	panic("no live handle")
+}
+
+func liveCount(p *Pool[int]) int {
+	n := 0
+	for i := 0; i < p.Segments(); i++ {
+		if p.Alive(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestKillDrainRedistributes(t *testing.T) {
+	p := newTestPool(t, Options{Segments: 4, Search: search.Linear, Seed: 3})
+	h0 := p.Handle(0)
+	for i := 0; i < 40; i++ {
+		h0.Put(i)
+	}
+	epoch := p.Epoch()
+	if !p.Kill(0, true) {
+		t.Fatal("kill refused")
+	}
+	if p.Alive(0) || p.Victim(0) {
+		t.Error("drain-killed segment should leave both the alive and victim sets")
+	}
+	if p.Epoch() <= epoch {
+		t.Error("kill must bump the membership epoch")
+	}
+	if got := p.Len(); got != 40 {
+		t.Errorf("redistribution lost elements: Len = %d, want 40", got)
+	}
+	p.segs[0].mu.Lock()
+	n0 := p.segs[0].dq.Len()
+	p.segs[0].mu.Unlock()
+	if n0 != 0 {
+		t.Errorf("drained segment still holds %d elements", n0)
+	}
+	// Every element is reachable by the survivors.
+	h1 := p.Handle(1)
+	for i := 0; i < 40; i++ {
+		if _, ok := h1.Get(); !ok {
+			t.Fatalf("element %d unreachable after drain kill", i)
+		}
+	}
+	// A deposit aimed at the dead segment redirects to a victim.
+	h0.Put(99)
+	p.segs[0].mu.Lock()
+	n0 = p.segs[0].dq.Len()
+	p.segs[0].mu.Unlock()
+	if n0 != 0 {
+		t.Error("deposit landed in a non-victim segment")
+	}
+	if _, ok := h1.Get(); !ok {
+		t.Error("redirected deposit unreachable")
+	}
+}
+
+func TestKillStealOnlyDrainsViaSteals(t *testing.T) {
+	p := newTestPool(t, Options{Segments: 4, Search: search.Linear, Seed: 5})
+	h0 := p.Handle(0)
+	for i := 0; i < 30; i++ {
+		h0.Put(i)
+	}
+	if !p.Kill(0, false) {
+		t.Fatal("kill refused")
+	}
+	if p.Alive(0) {
+		t.Error("killed handle still alive")
+	}
+	if !p.Victim(0) {
+		t.Error("steal-only kill must keep the segment in the victim set")
+	}
+	h2 := p.Handle(2)
+	for i := 0; i < 30; i++ {
+		if _, ok := h2.Get(); !ok {
+			t.Fatalf("reserve element %d did not drain via steals", i)
+		}
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d after draining the reserve, want 0", p.Len())
+	}
+}
+
+func TestKillLastAliveRefused(t *testing.T) {
+	p := newTestPool(t, Options{Segments: 2, Search: search.Linear})
+	if !p.Kill(0, true) {
+		t.Fatal("first kill refused")
+	}
+	if p.Kill(1, true) {
+		t.Fatal("killing the last live member must be refused")
+	}
+	if !p.Alive(1) {
+		t.Error("refused kill still removed the member")
+	}
+	if p.Kill(0, true) {
+		t.Error("killing a dead member must be refused")
+	}
+	if !p.Revive(0) {
+		t.Fatal("revive failed")
+	}
+	if !p.Kill(1, false) {
+		t.Error("kill after revive should succeed")
+	}
+}
+
+func TestReviveRestoresOperation(t *testing.T) {
+	p := newTestPool(t, Options{Segments: 3, Search: search.Tree, Seed: 8})
+	h1 := p.Handle(1)
+	h1.Put(7)
+	if !p.Kill(1, true) {
+		t.Fatal("kill refused")
+	}
+	if v, ok := h1.Get(); ok {
+		t.Errorf("killed handle's Get succeeded with %d", v)
+	}
+	if p.Revive(1) != true {
+		t.Fatal("revive failed")
+	}
+	if p.Revive(1) {
+		t.Error("reviving a live member must report false")
+	}
+	if !p.Alive(1) || !p.Victim(1) {
+		t.Error("revived member not fully re-admitted")
+	}
+	// The revived handle operates again (auto re-registers).
+	h1.Put(8)
+	if _, ok := h1.Get(); !ok {
+		t.Error("revived handle cannot operate")
+	}
+}
+
+// The tentpole invariant, serially: across at least 1000 random seeded
+// kill/revive transitions interleaved with operations, no element is
+// ever lost (Len tracks the model count exactly) and the coverage rule
+// never certifies emptiness while elements exist — a Get by a live
+// handle with a non-empty pool must produce an element, whatever the
+// membership looks like.
+func TestChurnInvariants1000(t *testing.T) {
+	const segments = 8
+	p := newTestPool(t, Options{Segments: segments, Search: search.Linear, Seed: 17})
+	r := rng.NewXoshiro256(20260808)
+	count := 0
+	transitions := 0
+	for step := 0; transitions < 1000; step++ {
+		switch r.Intn(4) {
+		case 0:
+			aliveHandle(p).Put(step)
+			count++
+		case 1:
+			_, ok := aliveHandle(p).Get()
+			if ok {
+				count--
+			} else if count > 0 {
+				t.Fatalf("step %d: false-empty certification with %d elements in the pool", step, count)
+			}
+		case 2:
+			tgt := r.Intn(segments)
+			drain := r.Intn(2) == 0
+			wasAlive := p.Alive(tgt)
+			killable := wasAlive && liveCount(p) > 1
+			if got := p.Kill(tgt, drain); got != killable {
+				t.Fatalf("step %d: Kill(%d) = %v, want %v (alive=%v live=%d)",
+					step, tgt, got, killable, wasAlive, liveCount(p))
+			}
+			if killable {
+				transitions++
+			}
+		case 3:
+			tgt := r.Intn(segments)
+			wasDead := !p.Alive(tgt)
+			if got := p.Revive(tgt); got != wasDead {
+				t.Fatalf("step %d: Revive(%d) = %v, want %v", step, tgt, got, wasDead)
+			}
+			if wasDead {
+				transitions++
+			}
+		}
+		if got := p.Len(); got != count {
+			t.Fatalf("step %d: conservation violated: Len = %d, model = %d", step, got, count)
+		}
+	}
+}
+
+// The Close/steal race window (fixed in this layer): a handle Closing
+// while thieves hold its segment's elements mid-TakeOut must not let a
+// subsequent observer miss those in-flight elements — Close waits out
+// the transfer count. Under -race this also pins the memory safety of
+// the close-vs-steal interleaving.
+func TestCloseStealRace(t *testing.T) {
+	const fill = 64
+	iters := 200
+	if testing.Short() {
+		iters = 20
+	}
+	for it := 0; it < iters; it++ {
+		p := newTestPool(t, Options{Segments: 4, Search: search.Linear, Seed: uint64(it + 1)})
+		h0 := p.Handle(0)
+		for i := 0; i < fill; i++ {
+			h0.Put(i)
+		}
+		var got atomic.Int64
+		var wg sync.WaitGroup
+		for w := 1; w < 4; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				h := p.Handle(id)
+				for {
+					vs := h.GetN(8)
+					if len(vs) == 0 {
+						h.Close()
+						return
+					}
+					got.Add(int64(len(vs)))
+				}
+			}(w)
+		}
+		// Close races the thieves' TakeOut/deposit windows.
+		h0.Close()
+		wg.Wait()
+		if n := int(got.Load()) + p.Len(); n != fill {
+			t.Fatalf("iter %d: conservation violated across Close/steal race: got %d + len %d != %d",
+				it, got.Load(), p.Len(), fill)
+		}
+	}
+}
+
+// Concurrent churn under the race detector: workers operate while a
+// driver performs kills and revives; every element put is either
+// consumed or still in the pool at the end.
+func TestChurnConcurrentConservation(t *testing.T) {
+	const procs = 4
+	const perProc = 3000
+	p := newTestPool(t, Options{Segments: procs, Search: search.Tree, Seed: 23})
+	for i := 0; i < procs; i++ {
+		p.Handle(i).Register()
+	}
+	var puts, gets atomic.Int64
+	var workers sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		workers.Add(1)
+		go func(id int) {
+			defer workers.Done()
+			h := p.Handle(id)
+			for j := 0; j < perProc; j++ {
+				if j%2 == 0 {
+					h.Put(j)
+					puts.Add(1)
+				} else if _, ok := h.Get(); ok {
+					gets.Add(1)
+				}
+			}
+		}(i)
+	}
+	// The driver churns until the workers finish. Workers never block
+	// forever on a kill: a killed handle's operations fail fast and its
+	// loop continues, so the join below terminates.
+	stop := make(chan struct{})
+	driverDone := make(chan int)
+	go func() {
+		transitions := 0
+		r := rng.NewXoshiro256(99)
+		for {
+			select {
+			case <-stop:
+				driverDone <- transitions
+				return
+			default:
+			}
+			tgt := r.Intn(procs)
+			if p.Kill(tgt, r.Intn(2) == 0) {
+				if !p.Revive(tgt) {
+					t.Error("revive of killed handle failed")
+				}
+				transitions += 2
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	transitions := <-driverDone
+	if transitions == 0 {
+		t.Error("driver performed no transitions; test proved nothing")
+	}
+	if got, want := int64(p.Len()), puts.Load()-gets.Load(); got != want {
+		t.Errorf("conservation violated under concurrent churn: Len = %d, puts-gets = %d", got, want)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"pools/internal/engine"
@@ -9,6 +11,17 @@ import (
 	"pools/internal/policy"
 	"pools/internal/search"
 	"pools/internal/trace"
+)
+
+// Handle lifecycle states. The lifecycle is a tiny atomic state machine
+// rather than two owner-written bools because Pool.Kill closes a handle
+// from outside its owning goroutine: idle (created or revived, not yet
+// counted by the abort rule), open (registered, counted), closed
+// (withdrawn — by the owner's Close or an external Kill).
+const (
+	hsIdle int32 = iota
+	hsOpen
+	hsClosed
 )
 
 // Handle is a process's attachment to one segment of a Pool. All pool
@@ -27,11 +40,10 @@ type Handle[T any] struct {
 	eng        *engine.Engine
 	steal      policy.StealAmount // resolved steal amount, cached off the engine for the probe loop
 	sub        substrate[T]
-	stealBuf   []T // reused steal-transfer buffer (reserve under the victim's lock, deposit outside)
-	stats      metrics.PoolStats
-	tr         *trace.Recorder // flight recorder (nil unless Options.TraceBuf > 0)
-	registered bool
-	closed     bool
+	stealBuf []T // reused steal-transfer buffer (reserve under the victim's lock, deposit outside)
+	stats    metrics.PoolStats
+	tr       *trace.Recorder // flight recorder (nil unless Options.TraceBuf > 0)
+	state    atomic.Int32    // hsIdle | hsOpen | hsClosed; atomic so Pool.Kill can close externally
 }
 
 // ID returns the handle's segment index.
@@ -62,11 +74,9 @@ func (h *Handle[T]) Controller() policy.Controller { return h.eng.Controller() }
 // first producer's Put does not observe a one-process pool and abort
 // immediately. Register is idempotent.
 func (h *Handle[T]) Register() {
-	if h.registered || h.closed {
-		return
+	if h.state.Load() == hsIdle && h.state.CompareAndSwap(hsIdle, hsOpen) {
+		h.pool.open.Add(1)
 	}
-	h.registered = true
-	h.pool.open.Add(1)
 }
 
 // Close withdraws this handle from the pool's participant set. A closed
@@ -75,11 +85,14 @@ func (h *Handle[T]) Register() {
 // (a directed add that raced with the end of its last search) is parked
 // in the local segment first, where other processes' steals can reach it
 // — otherwise a worker exiting on a perceived-empty pool would strand a
-// whole batch until Drain. Close is idempotent.
+// whole batch until Drain. Before returning, Close waits out any steal
+// mid-transfer: withdrawing from the open count can make the
+// all-searching observation true for the remaining searchers, and the
+// certificate must not race a thief's not-yet-deposited surplus (the
+// Coverage rule's TransfersInFlight guard covers searchers, but a
+// closing worker often tears the pool down next, and Drain does not
+// consult the rule). Close is idempotent.
 func (h *Handle[T]) Close() {
-	if h.closed {
-		return
-	}
 	p := h.pool
 	if p.boxes != nil {
 		if g, ok := p.boxes[h.id].tryTake(); ok {
@@ -92,14 +105,36 @@ func (h *Handle[T]) Close() {
 			}
 		}
 	}
-	h.closed = true
-	if h.registered {
-		p.open.Add(-1)
+	if !h.withdraw() {
+		return
+	}
+	// The closer never holds a segment lock here and a thief needs only
+	// its own segment's lock to land the deposit, so this wait cannot
+	// deadlock.
+	for p.moving.Load() > 0 {
+		runtime.Gosched()
+	}
+}
+
+// withdraw moves the handle to closed, releasing its open-count slot if
+// it held one. It reports whether this call performed the transition.
+func (h *Handle[T]) withdraw() bool {
+	for {
+		s := h.state.Load()
+		if s == hsClosed {
+			return false
+		}
+		if h.state.CompareAndSwap(s, hsClosed) {
+			if s == hsOpen {
+				h.pool.open.Add(-1)
+			}
+			return true
+		}
 	}
 }
 
 // Closed reports whether Close has been called on this handle.
-func (h *Handle[T]) Closed() bool { return h.closed }
+func (h *Handle[T]) Closed() bool { return h.state.Load() == hsClosed }
 
 // Stats returns a snapshot of this handle's operation statistics.
 func (h *Handle[T]) Stats() metrics.PoolStats { return h.stats }
@@ -140,7 +175,7 @@ func (h *Handle[T]) Put(v T) {
 		}
 		return
 	}
-	target := h.eng.DirectTarget(1)
+	target := p.placeTarget(h.eng.DirectTarget(1))
 	p.opts.Delay.Delay(numa.AccessAdd, h.id, target)
 	s := &p.segs[target]
 	s.mu.Lock()
@@ -185,7 +220,7 @@ func (h *Handle[T]) PutAll(items []T) {
 			return
 		}
 	}
-	target := h.eng.DirectTarget(len(items) - gifted)
+	target := p.placeTarget(h.eng.DirectTarget(len(items) - gifted))
 	p.opts.Delay.Delay(numa.AccessAdd, h.id, target)
 	s := &p.segs[target]
 	s.mu.Lock()
@@ -213,6 +248,9 @@ func (h *Handle[T]) TryPut(v T) bool {
 	n := len(p.segs)
 	for off := 0; off < n; off++ {
 		idx := (h.id + off) % n
+		if !p.members.Victim(idx) {
+			continue // departed drain-mode segment: searches skip it
+		}
 		p.opts.Delay.Delay(numa.AccessAdd, h.id, idx)
 		s := &p.segs[idx]
 		s.mu.Lock()
@@ -256,7 +294,7 @@ func (h *Handle[T]) TryGetLocal() (T, bool) {
 func (h *Handle[T]) Get() (T, bool) {
 	var zero T
 	p := h.pool
-	if h.closed || p.closed.Load() {
+	if h.state.Load() == hsClosed || p.closed.Load() {
 		return zero, false
 	}
 	h.Register()
@@ -307,13 +345,15 @@ func (h *Handle[T]) Get() (T, bool) {
 
 // parkLocal adds elements to the local segment, where subsequent removes
 // find them on the fast path (and other searchers' steals can reach
-// them). A nil or empty slice is a no-op.
+// them) — or, when a drain-kill has removed the local segment from the
+// victim set, to the nearest victim segment so the parked elements stay
+// visible to searches. A nil or empty slice is a no-op.
 func (h *Handle[T]) parkLocal(items []T) {
 	if len(items) == 0 {
 		return
 	}
 	p := h.pool
-	s := &p.segs[h.id]
+	s := &p.segs[p.placeTarget(h.id)]
 	s.mu.Lock()
 	s.dq.AddAll(items)
 	s.mu.Unlock()
@@ -361,7 +401,7 @@ func (h *Handle[T]) GetN(max int) []T {
 		return nil
 	}
 	p := h.pool
-	if h.closed || p.closed.Load() {
+	if h.state.Load() == hsClosed || p.closed.Load() {
 		return nil
 	}
 	h.Register()
@@ -467,7 +507,7 @@ func (w *substrate[T]) Exit() {
 // directed-add gift landed in the mailbox — Get's slow path collects it.
 func (w *substrate[T]) Stopped() bool {
 	p := w.h.pool
-	if p.closed.Load() || w.h.closed {
+	if p.closed.Load() || w.h.state.Load() == hsClosed {
 		return true
 	}
 	return p.boxes != nil && len(p.boxes[w.h.id].slot) > 0
@@ -520,7 +560,11 @@ func (w *substrate[T]) Probe(sIdx, want int) int {
 	w.reserved = buf[moved-1]
 	w.has = true
 	if moved > 1 {
-		dst := &p.segs[self]
+		// A kill can drain this thief's own segment between the search's
+		// start and this deposit; placeTarget reads the victim bit after
+		// Kill's membership store, so the surplus lands where searches
+		// (and the kill-time drain's moving-wait) still find it.
+		dst := &p.segs[p.placeTarget(self)]
 		dst.mu.Lock()
 		dst.dq.AddAll(buf[:moved-1])
 		dst.mu.Unlock()
@@ -568,3 +612,7 @@ func (c coverageState[T]) GiftsInFlight() bool { return c.p.giftsInFlight() }
 
 // TransfersInFlight implements engine.CoverageState.
 func (c coverageState[T]) TransfersInFlight() bool { return c.p.moving.Load() > 0 }
+
+// Epoch implements engine.CoverageState: the pool's membership epoch —
+// one atomic load, the whole cost of churn-awareness on the abort path.
+func (c coverageState[T]) Epoch() uint64 { return c.p.members.Epoch() }

@@ -169,8 +169,12 @@ func (p *Pool[T]) giftOut(giver int, items []T) int {
 	// chunking or copying.
 	if len(items) == 1 {
 		for j := 0; j < n-1; j++ {
-			b := &p.boxes[target(j)]
-			if !b.hungry.Load() {
+			t := target(j)
+			b := &p.boxes[t]
+			// A killed handle's abandoned search may leave its hungry
+			// flag momentarily visible; the alive check keeps a gift
+			// from landing in a mailbox nobody will ever empty.
+			if !b.hungry.Load() || !p.members.Alive(t) {
 				continue
 			}
 			if p.pol.Place.GiftSplit(1, 1) < 1 {
@@ -184,7 +188,7 @@ func (p *Pool[T]) giftOut(giver int, items []T) int {
 	}
 	hungry := 0
 	for i := range p.boxes {
-		if i != giver && p.boxes[i].hungry.Load() {
+		if i != giver && p.boxes[i].hungry.Load() && p.members.Alive(i) {
 			hungry++
 		}
 	}
@@ -201,8 +205,9 @@ func (p *Pool[T]) giftOut(giver int, items []T) int {
 	chunk := (quota + hungry - 1) / hungry
 	delivered := 0
 	for j := 0; j < n-1 && delivered < quota; j++ {
-		b := &p.boxes[target(j)]
-		if !b.hungry.Load() {
+		t := target(j)
+		b := &p.boxes[t]
+		if !b.hungry.Load() || !p.members.Alive(t) {
 			continue // don't build a chunk for a box that will refuse it
 		}
 		take := chunk

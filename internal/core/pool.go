@@ -34,6 +34,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -172,7 +173,8 @@ type Pool[T any] struct {
 	giftOrder [][]int      // per-giver mailbox delivery order (hop-cost ranked under a topology)
 	leaves    int
 	handles   []*Handle[T]
-	epoch     time.Time // flight-recorder time zero (tracing only)
+	members   *engine.Membership // dynamic membership: alive/victim bits + the coverage epoch
+	epoch     time.Time          // flight-recorder time zero (tracing only)
 
 	lookers atomic.Int32  // registered handles currently inside a search
 	open    atomic.Int32  // handles registered and not yet closed
@@ -223,11 +225,12 @@ func New[T any](opts Options) (*Pool[T], error) {
 		opts.Delay.Model.Topo = topo
 	}
 	p := &Pool[T]{
-		opts:   opts,
-		pol:    pol,
-		topo:   topo,
-		segs:   make([]seg[T], opts.Segments),
-		leaves: search.NumLeavesFor(opts.Segments),
+		opts:    opts,
+		pol:     pol,
+		topo:    topo,
+		segs:    make([]seg[T], opts.Segments),
+		leaves:  search.NumLeavesFor(opts.Segments),
+		members: engine.NewMembership(opts.Segments),
 	}
 	if opts.Search == search.Tree || policy.KindOf(pol.Order) == search.Tree {
 		p.nodes = make([]treeNode, 2*p.leaves)
@@ -268,6 +271,7 @@ func New[T any](opts Options) (*Pool[T], error) {
 			Stats:     stats,
 			SizeProbe: h.sizeProbe(),
 			Tracer:    h.tr,
+			Members:   p.members,
 		}, &h.sub, engine.NewCoverage(opts.Segments, coverageState[T]{p}))
 		h.steal = h.eng.StealAmount()
 		p.handles[i] = h
@@ -394,6 +398,139 @@ func (p *Pool[T]) Drain() []T {
 		}
 	}
 	return out
+}
+
+// Kill forcibly removes handle i from the pool's membership, as if its
+// process had crashed (or been descheduled for good). Unlike Close —
+// which the owning goroutine calls on itself — Kill may be called from
+// any goroutine; the victim's in-flight operation aborts at its next
+// stop check. With drain=true the killed segment's elements (and any
+// gift stranded in its mailbox) are redistributed across the surviving
+// victim segments and the segment leaves the victim set — searches skip
+// it, deposits aimed at it are redirected. With drain=false the segment
+// degrades to a steal-only victim: its reserve stays in place and
+// drains through the survivors' steals, the dynamic generalization of
+// Close's parked-gift path. Either way the membership epoch is bumped,
+// so no in-flight search can certify emptiness against the old
+// membership. Kill refuses to remove the last live member and reports
+// whether the kill happened.
+func (p *Pool[T]) Kill(i int, drain bool) bool {
+	h := p.handles[i]
+	// Order matters: the membership store first, so any deposit that
+	// starts after it sees the new victim bit and redirects; then the
+	// handle state, so the owner's next operation fails; then the wait
+	// on in-flight transfers, so a surplus reserved before the kill has
+	// landed (possibly in segment i) before the drain collects it.
+	if !p.members.Leave(i, !drain) {
+		return false
+	}
+	h.withdraw()
+	if h.tr != nil {
+		d := int32(0)
+		if drain {
+			d = 1
+		}
+		h.tr.Record(trace.MemberLeave, int32(i), d)
+	}
+	if drain {
+		for p.moving.Load() > 0 {
+			runtime.Gosched()
+		}
+		p.redistribute(i)
+	}
+	return true
+}
+
+// redistribute empties killed segment i — deque and stranded mailbox
+// gift — across the surviving victim segments, round-robin. The moving
+// count guards the whole relocation exactly like a steal's in-buffer
+// window, and the epoch bump at the end forces every search that had
+// already covered a destination segment to re-scan it before it may
+// certify emptiness.
+func (p *Pool[T]) redistribute(i int) {
+	p.moving.Add(1)
+	s := &p.segs[i]
+	s.mu.Lock()
+	items := s.dq.Drain()
+	s.mu.Unlock()
+	if p.boxes != nil {
+		if g, ok := p.boxes[i].tryTake(); ok {
+			items = append(items, g.elements()...)
+		}
+	}
+	n := len(p.segs)
+	placed := 0
+	for off, k := 0, 0; off < n && k < len(items); off++ {
+		t := (i + 1 + off) % n
+		if !p.members.Victim(t) {
+			continue
+		}
+		// Victims share the relocated elements evenly: ceil of what
+		// remains over the victims not yet visited this pass.
+		take := (len(items) - k + (p.members.Live() - placed) - 1) / max(p.members.Live()-placed, 1)
+		if take < 1 {
+			take = 1
+		}
+		if k+take > len(items) {
+			take = len(items) - k
+		}
+		dst := &p.segs[t]
+		dst.mu.Lock()
+		dst.dq.AddAll(items[k : k+take])
+		dst.mu.Unlock()
+		k += take
+		placed++
+	}
+	p.version.Add(1)
+	e := p.members.Bump()
+	if h := p.handles[i]; h.tr != nil {
+		h.tr.Record(trace.EpochBump, int32(e&0x7fffffff), int32(len(items)))
+	}
+	p.moving.Add(-1)
+}
+
+// Revive re-admits a killed (or closed) handle i: the handle returns to
+// its pre-Register idle state — its owner's next operation re-registers
+// it — and segment i rejoins the victim set, re-entering victim orders,
+// gift deliveries, and Director placements. The epoch bump re-arms
+// in-flight searches so the rejoined (possibly refilled) segment is
+// probed before any emptiness certificate. Revive reports whether the
+// handle was in fact dead.
+func (p *Pool[T]) Revive(i int) bool {
+	h := p.handles[i]
+	if !h.state.CompareAndSwap(hsClosed, hsIdle) {
+		return false
+	}
+	p.members.Join(i)
+	if h.tr != nil {
+		h.tr.Record(trace.MemberJoin, int32(i), 0)
+	}
+	return true
+}
+
+// Alive reports whether handle i is a live member (not killed or
+// closed out of the membership).
+func (p *Pool[T]) Alive(i int) bool { return p.members.Alive(i) }
+
+// Victim reports whether searches still probe segment i.
+func (p *Pool[T]) Victim(i int) bool { return p.members.Victim(i) }
+
+// Epoch returns the pool's membership epoch: bumped on every Kill,
+// Revive, and kill-time redistribution.
+func (p *Pool[T]) Epoch() uint64 { return p.members.Epoch() }
+
+// placeTarget redirects a deposit aimed at segment s to the nearest
+// victim segment when s has left the victim set (a drain-mode kill), so
+// no element lands where searches no longer look. On the no-churn path
+// it costs one atomic load.
+func (p *Pool[T]) placeTarget(s int) int {
+	if p.members.Victim(s) {
+		return s
+	}
+	if t := p.members.FallbackVictim(s); t >= 0 {
+		return t
+	}
+	return s
 }
 
 // Close marks the pool closed: every in-flight and future search aborts

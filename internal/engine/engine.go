@@ -121,6 +121,12 @@ type Config struct {
 	// transfer and gift edges. Nil disables tracing; every emission site
 	// is a nil check, so the disabled path stays 0 allocs/op.
 	Tracer *trace.Recorder
+	// Members, when non-nil, is the pool's dynamic membership: searches
+	// skip non-victim segments (counting them as seen-empty, which the
+	// deposit redirects keep true) and Director placements are clamped to
+	// victim segments so no element lands where searches no longer look.
+	// Nil means fixed membership — the paper's model — with zero overhead.
+	Members *Membership
 }
 
 // Engine drives the search-steal protocol for one handle. Create with
@@ -136,6 +142,7 @@ type Engine struct {
 	sizeFn   func(s int) int
 	stats    *metrics.PoolStats
 	tr       *trace.Recorder
+	members  *Membership
 	cross    []bool  // cross[s]: a probe of s leaves the cluster (nil = no topology)
 	hops     []int32 // hops[s]: topology hop distance self→s (nil = no topology)
 	foreign  []bool  // foreign[s]: segment s belongs to another tenant (nil = no partition)
@@ -161,6 +168,7 @@ func New(cfg Config, sub Substrate, term Termination) *Engine {
 		sizeFn:   cfg.SizeProbe,
 		stats:    cfg.Stats,
 		tr:       cfg.Tracer,
+		members:  cfg.Members,
 	}
 	if d, ok := cfg.Policies.Place.(policy.Director); ok {
 		e.dir = d
@@ -281,6 +289,11 @@ func (e *Engine) DirectTarget(n int) int {
 	if t < 0 || t >= e.segments {
 		return e.self
 	}
+	if e.members != nil && t != e.self && !e.members.Victim(t) {
+		// The director picked a departed drain-mode segment: elements
+		// there would be invisible to searches. Keep the add local.
+		return e.self
+	}
 	if e.tr != nil && t != e.self {
 		e.tr.Record(trace.DirectPlace, int32(t), int32(n))
 	}
@@ -349,6 +362,16 @@ func (w *world) Self() int { return w.e.self }
 // classify it (near/cross-cluster, and same/foreign tenant when the policy
 // set carries a partition), and report the outcome to the termination rule.
 func (w *world) TrySteal(s int) int {
+	if m := w.e.members; m != nil && s != w.e.self && !m.Victim(s) {
+		// Departed drain-mode segment: the kill drained it and deposit
+		// redirects keep it empty, so skipping the probe is sound. It
+		// still counts as coverage evidence — the exact rule needs every
+		// segment accounted for, and any later rejoin bumps the epoch,
+		// which re-arms the rule before emptiness could be certified
+		// against stale membership.
+		w.term.SawEmpty(s)
+		return 0
+	}
 	got := w.sub.Probe(s, w.want)
 	w.e.noteProbe(s, got)
 	if w.e.tr != nil && w.e.hops != nil && s != w.e.self {

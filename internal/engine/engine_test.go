@@ -99,12 +99,14 @@ func TestStoppedSubstrateAborts(t *testing.T) {
 // fakeCoverage is a scripted CoverageState.
 type fakeCoverage struct {
 	version   uint64
+	epoch     uint64
 	searching bool
 	gifts     bool
 	moving    bool
 }
 
 func (f *fakeCoverage) Version() uint64         { return f.version }
+func (f *fakeCoverage) Epoch() uint64           { return f.epoch }
 func (f *fakeCoverage) AllSearching() bool      { return f.searching }
 func (f *fakeCoverage) GiftsInFlight() bool     { return f.gifts }
 func (f *fakeCoverage) TransfersInFlight() bool { return f.moving }
@@ -167,6 +169,71 @@ func TestCoverageRule(t *testing.T) {
 	st.searching = false
 	if c.Aborted() {
 		t.Fatal("aborted with only one segment covered since progress")
+	}
+}
+
+// TestCoverageEpochInvalidation pins the membership-epoch clause: an
+// epoch bump discards all accumulated coverage evidence — even over a
+// fully-covered pool with all processes searching — and the check fires
+// before the coverage short-circuit, so evidence collected while
+// coverage was still partial is discarded too (a drain-kill can move
+// elements into segments the search already saw empty).
+func TestCoverageEpochInvalidation(t *testing.T) {
+	st := &fakeCoverage{searching: true}
+	c := NewCoverage(3, st)
+
+	// Bump with full coverage: the certificate must not survive.
+	c.Begin(1)
+	c.SawEmpty(0)
+	c.SawEmpty(1)
+	c.SawEmpty(2)
+	st.epoch++
+	if c.Aborted() {
+		t.Fatal("certified emptiness across a membership epoch bump")
+	}
+	// The rule re-armed against the new epoch: fresh full coverage with a
+	// stable epoch certifies again.
+	c.SawEmpty(0)
+	c.SawEmpty(1)
+	c.SawEmpty(2)
+	if !c.Aborted() {
+		t.Fatal("re-armed rule refused fresh coverage under a stable epoch")
+	}
+
+	// Bump mid-search with partial coverage: the already-probed segments
+	// must be forgotten, so completing the lap with only the previously
+	// unprobed segment must NOT certify.
+	c.Begin(1)
+	c.SawEmpty(0)
+	c.SawEmpty(1)
+	st.epoch++
+	if c.Aborted() {
+		t.Fatal("aborted with partial coverage across an epoch bump")
+	}
+	c.SawEmpty(2)
+	if c.Aborted() {
+		t.Fatal("pre-bump probes survived the epoch invalidation")
+	}
+	c.SawEmpty(0)
+	c.SawEmpty(1)
+	if !c.Aborted() {
+		t.Fatal("full post-bump coverage must certify emptiness")
+	}
+
+	// The epoch re-arm also swallows a concurrent version bump: both
+	// snapshots refresh together, so a version moved during the same
+	// churn does not demand a second extra lap.
+	c.Begin(1)
+	st.epoch++
+	st.version++
+	if c.Aborted() {
+		t.Fatal("aborted immediately after churn")
+	}
+	c.SawEmpty(0)
+	c.SawEmpty(1)
+	c.SawEmpty(2)
+	if !c.Aborted() {
+		t.Fatal("version bump swallowed by the epoch re-arm still blocked the certificate")
 	}
 }
 

@@ -1,0 +1,147 @@
+package engine
+
+// This file adds dynamic membership to the search-steal protocol. The
+// paper assumes a fixed set of processes that never crash; every
+// substrate inherited that assumption, so a killed handle would either
+// strand its segment's elements (nobody probes a departed segment) or
+// let a searcher certify emptiness over elements a concurrent
+// drain-and-redistribute was moving. Membership is the one shared piece
+// that keeps both failure modes impossible:
+//
+//   - every segment carries an alive bit (its handle is operating) and a
+//     victim bit (searches still probe the segment). A kill clears the
+//     alive bit and either keeps the victim bit (the segment degrades to
+//     a steal-only victim whose reserve drains through other processes'
+//     steals — the generalization of Close's parked-gift path) or clears
+//     it too (the pool drains and redistributes the segment at kill
+//     time, and deposits aimed at it are redirected to a live victim);
+//   - a membership epoch is bumped on every leave and join. The exact
+//     Coverage termination rule snapshots the epoch when a search begins
+//     and discards all accumulated emptiness evidence when it changes —
+//     an epoch bump invalidates in-flight coverage certificates exactly
+//     as CoverageState.TransfersInFlight guards mid-transfer surpluses.
+//     The no-churn fast path stays a single atomic epoch load per abort
+//     check.
+//
+// Membership is substrate-neutral: the real pool reads it under real
+// concurrency (all fields are atomics), the simulator under virtual
+// time, the keyed pool under its bounded sweeps.
+
+import "sync/atomic"
+
+// Per-segment membership state bits.
+const (
+	// memberVictim marks a segment that searches still probe. Departed
+	// segments keep it in steal-only mode and lose it in drain mode.
+	memberVictim uint32 = 1 << 0
+	// memberAlive marks a segment whose handle is operating (performing
+	// its own adds and removes).
+	memberAlive uint32 = 1 << 1
+)
+
+// Membership tracks which segments of a pool are alive and which are
+// still probed by searches, stamped by an epoch counter that invalidates
+// in-flight coverage certificates on every transition. All methods are
+// safe for concurrent use; reads are single atomic loads.
+type Membership struct {
+	epoch atomic.Uint64
+	live  atomic.Int32
+	state []atomic.Uint32
+}
+
+// NewMembership returns a membership over n segments, all alive victims.
+func NewMembership(n int) *Membership {
+	m := &Membership{state: make([]atomic.Uint32, n)}
+	for i := range m.state {
+		m.state[i].Store(memberAlive | memberVictim)
+	}
+	m.live.Store(int32(n))
+	return m
+}
+
+// Segments returns the membership's segment count.
+func (m *Membership) Segments() int { return len(m.state) }
+
+// Epoch returns the current membership epoch. Coverage snapshots it at
+// search begin and re-arms when it moves.
+func (m *Membership) Epoch() uint64 { return m.epoch.Load() }
+
+// Alive reports whether segment s's handle is operating.
+func (m *Membership) Alive(s int) bool { return m.state[s].Load()&memberAlive != 0 }
+
+// Victim reports whether searches still probe segment s. A departed
+// drain-mode segment is not a victim — and the deposit redirects keep it
+// empty, so skipping it costs a search nothing.
+func (m *Membership) Victim(s int) bool { return m.state[s].Load()&memberVictim != 0 }
+
+// Live returns the number of alive segments.
+func (m *Membership) Live() int { return int(m.live.Load()) }
+
+// Leave removes segment s from the alive set: with keepVictim the
+// segment stays a steal-only victim, without it the segment also leaves
+// the victim set (the caller drains and redistributes its elements).
+// Leave refuses to remove the last alive segment (a pool with no live
+// member could strand every element) and reports whether the transition
+// happened. On success the epoch has been bumped.
+func (m *Membership) Leave(s int, keepVictim bool) bool {
+	if m.live.Add(-1) < 1 {
+		m.live.Add(1)
+		return false
+	}
+	var next uint32
+	if keepVictim {
+		next = memberVictim
+	}
+	for {
+		cur := m.state[s].Load()
+		if cur&memberAlive == 0 {
+			m.live.Add(1) // already departed: undo the reservation
+			return false
+		}
+		if m.state[s].CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	m.epoch.Add(1)
+	return true
+}
+
+// Join re-admits segment s as an alive victim (a revive, or a fresh
+// member joining after a leave). It reports whether the transition
+// happened (false when s is already alive). On success the epoch has
+// been bumped.
+func (m *Membership) Join(s int) bool {
+	for {
+		cur := m.state[s].Load()
+		if cur&memberAlive != 0 {
+			return false
+		}
+		if m.state[s].CompareAndSwap(cur, memberAlive|memberVictim) {
+			break
+		}
+	}
+	m.live.Add(1)
+	m.epoch.Add(1)
+	return true
+}
+
+// Bump advances the epoch without a membership transition, invalidating
+// every in-flight coverage certificate: pools call it after externally
+// relocating elements (a kill-time drain) so a searcher that had already
+// covered the destination segments re-scans them.
+func (m *Membership) Bump() uint64 { return m.epoch.Add(1) }
+
+// FallbackVictim returns the first victim segment at or after `from` in
+// ring order, or -1 when no victim remains. Deposits and parks aimed at
+// a departed drain-mode segment are redirected here so no element lands
+// where searches no longer look.
+func (m *Membership) FallbackVictim(from int) int {
+	n := len(m.state)
+	for off := 0; off < n; off++ {
+		s := (from + off) % n
+		if m.state[s].Load()&memberVictim != 0 {
+			return s
+		}
+	}
+	return -1
+}

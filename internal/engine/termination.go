@@ -47,6 +47,14 @@ type CoverageState interface {
 	// transfer is in flight. Substrates whose steals move elements
 	// atomically return false.
 	TransfersInFlight() bool
+	// Epoch is the membership epoch: a counter bumped on every handle
+	// kill, revive, or kill-time element redistribution. An epoch move
+	// invalidates all accumulated coverage evidence — a drain-kill can
+	// relocate elements into segments a search already saw empty, and a
+	// join adds a segment the search never probed — so emptiness must
+	// not be certified across one. Pools without dynamic membership
+	// return a constant.
+	Epoch() uint64
 }
 
 // Coverage is the real pool's exact rule: a search may abort only once it
@@ -63,6 +71,7 @@ type Coverage struct {
 	probed      []bool
 	probedCount int
 	seenVersion uint64
+	seenEpoch   uint64
 }
 
 // NewCoverage returns a Coverage rule over a pool with the given segment
@@ -71,10 +80,11 @@ func NewCoverage(segments int, state CoverageState) *Coverage {
 	return &Coverage{state: state, probed: make([]bool, segments)}
 }
 
-// Begin implements Termination: snapshot the pool version and forget
-// prior coverage.
+// Begin implements Termination: snapshot the pool version and the
+// membership epoch, and forget prior coverage.
 func (c *Coverage) Begin(int) {
 	c.seenVersion = c.state.Version()
+	c.seenEpoch = c.state.Epoch()
 	c.reset()
 }
 
@@ -106,7 +116,22 @@ func (c *Coverage) SawProgress() { c.reset() }
 // until its successful search returns) and cannot livelock either: the
 // thief needs only its own segment lock to finish the deposit and drop
 // the flag.
+//
+// The membership-epoch check comes first — before the coverage
+// short-circuit — because an epoch bump can move elements into segments
+// this search has already marked probed (a drain-kill redistributes its
+// segment mid-search): waiting until coverage completes would certify
+// emptiness without ever re-probing the destination. On the no-churn
+// path the check costs exactly one atomic load per call.
 func (c *Coverage) Aborted() bool {
+	if e := c.state.Epoch(); e != c.seenEpoch {
+		// Membership changed: every piece of accumulated evidence may be
+		// stale. Re-arm against the new epoch and current version.
+		c.seenEpoch = e
+		c.seenVersion = c.state.Version()
+		c.reset()
+		return false
+	}
 	if c.probedCount < len(c.probed) {
 		return false
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -44,6 +45,14 @@ type RealRunConfig struct {
 	// events per handle (core.Options.TraceBuf); the recorded timelines
 	// come back in RealRunResult.Timelines.
 	TraceBuf int
+	// Churn, when enabled, runs a wall-clock chaos driver alongside the
+	// workers: it kills one live handle at a time on the seeded schedule
+	// (workload.Churn, gaps in wall-clock µs), revives it after the
+	// configured downtime, and stops when the budget is exhausted. A
+	// killed worker idles without claiming budget until revived (its
+	// next operation re-registers the handle). Not supported under the
+	// OpenLoop model, whose arrival streams assume a fixed worker set.
+	Churn workload.Churn
 	// Publish, when non-nil, is called by each worker with a copy of its
 	// own handle's statistics every publishEvery operations and once as
 	// it exits. Per-handle stats are unsynchronized — only the owning
@@ -74,6 +83,9 @@ type RealRunResult struct {
 	// Timelines are the per-handle flight-recorder snapshots (only when
 	// RealRunConfig.TraceBuf), on the wall clock in µs since pool start.
 	Timelines []trace.Timeline
+	// Kills and Revives count the chaos driver's membership transitions
+	// (only when RealRunConfig.Churn is enabled).
+	Kills, Revives int
 }
 
 // RealRun executes one trial with real goroutines and returns its
@@ -82,6 +94,16 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 	wl := cfg.Workload
 	if err := wl.Validate(); err != nil {
 		return RealRunResult{}, err
+	}
+	if err := cfg.Churn.Validate(); err != nil {
+		return RealRunResult{}, err
+	}
+	churnOn := cfg.Churn.Enabled()
+	if churnOn && wl.Model == workload.OpenLoop {
+		return RealRunResult{}, fmt.Errorf("harness: churn is not supported under the OpenLoop model")
+	}
+	if churnOn && wl.Procs < 2 {
+		return RealRunResult{}, fmt.Errorf("harness: churn needs Procs >= 2, got %d", wl.Procs)
 	}
 	p, err := core.New[int](core.Options{
 		Segments:     wl.Procs,
@@ -169,9 +191,21 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 				h.Close()
 				return
 			}
+			// A killed worker idles off the budget until revived (or the
+			// budget runs out); its next operation re-registers the handle.
+			downWait := func() bool {
+				if !churnOn || p.Alive(id) {
+					return false
+				}
+				runtime.Gosched()
+				return !budget.Exhausted()
+			}
 			if wl.Model == workload.Burst {
 				batch := make([]int, wl.BatchSize)
 				for {
+					if downWait() {
+						continue
+					}
 					// An online controller (adaptive policy) may retune
 					// the batch between operations, exactly as in the
 					// simulator's burst loop.
@@ -198,7 +232,13 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 				h.Close()
 				return
 			}
-			for budget.TryClaim() {
+			for {
+				if downWait() {
+					continue
+				}
+				if !budget.TryClaim() {
+					break
+				}
 				if ch.Next() == metrics.OpAdd {
 					h.Put(0)
 				} else {
@@ -216,6 +256,45 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 			h.Close()
 		}(id)
 	}
+	kills, revives := 0, 0
+	if churnOn {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Wall-clock chaos driver: gaps and downtimes are µs sleeps,
+			// chopped so budget exhaustion ends the schedule promptly.
+			wait := func(us int64) bool {
+				const step = 200 * time.Microsecond
+				deadline := time.Now().Add(time.Duration(us) * time.Microsecond)
+				for time.Now().Before(deadline) {
+					if budget.Exhausted() {
+						return false
+					}
+					time.Sleep(step)
+				}
+				return !budget.Exhausted()
+			}
+			gen := cfg.Churn.Gen(cfg.Seed)
+			for {
+				gap := gen.NextGap()
+				if gap < 0 || !wait(gap) {
+					return
+				}
+				t := gen.PickVictim(wl.Procs)
+				if !p.Kill(t, cfg.Churn.Drain) {
+					continue // refused (last live member); retry next gap
+				}
+				kills++
+				stop := !wait(cfg.Churn.ReviveAfter)
+				if p.Revive(t) {
+					revives++
+				}
+				if stop {
+					return
+				}
+			}
+		}()
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -225,6 +304,8 @@ func RealRun(cfg RealRunConfig) (RealRunResult, error) {
 		Remaining: p.Len(),
 		Sojourns:  sojourns,
 		Timelines: p.Timelines(),
+		Kills:     kills,
+		Revives:   revives,
 	}, nil
 }
 

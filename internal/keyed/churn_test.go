@@ -1,0 +1,140 @@
+package keyed
+
+import (
+	"testing"
+)
+
+func TestKeyedKillDrainPreservesKeys(t *testing.T) {
+	p := newPool(t, 4)
+	h0 := p.Handle(0)
+	for i := 0; i < 5; i++ {
+		h0.Put("red", i)
+	}
+	for i := 0; i < 3; i++ {
+		h0.Put("blue", 100+i)
+	}
+	epoch := p.Epoch()
+	if !p.Kill(0, true) {
+		t.Fatal("kill refused")
+	}
+	if p.Alive(0) || p.Victim(0) {
+		t.Error("drain-killed segment should leave the alive and victim sets")
+	}
+	if p.Epoch() <= epoch {
+		t.Error("drain kill must bump the epoch")
+	}
+	// Key classes survive the relocation intact.
+	if got := p.LenKey("red"); got != 5 {
+		t.Errorf("LenKey(red) = %d after drain, want 5", got)
+	}
+	if got := p.LenKey("blue"); got != 3 {
+		t.Errorf("LenKey(blue) = %d after drain, want 3", got)
+	}
+	// And remain reachable by class from a survivor.
+	h1 := p.Handle(1)
+	for i := 0; i < 5; i++ {
+		if _, ok := h1.Get("red"); !ok {
+			t.Fatalf("red element %d unreachable after drain kill", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := h1.Get("blue"); !ok {
+			t.Fatalf("blue element %d unreachable after drain kill", i)
+		}
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d after draining all classes, want 0", p.Len())
+	}
+}
+
+func TestKeyedKillStealOnlyDrainsViaSweeps(t *testing.T) {
+	p := newPool(t, 4)
+	h0 := p.Handle(0)
+	for i := 0; i < 8; i++ {
+		h0.Put("red", i)
+	}
+	if !p.Kill(0, false) {
+		t.Fatal("kill refused")
+	}
+	if p.Alive(0) {
+		t.Error("killed handle still alive")
+	}
+	if !p.Victim(0) {
+		t.Error("steal-only kill must keep the segment a victim")
+	}
+	h2 := p.Handle(2)
+	for i := 0; i < 8; i++ {
+		if _, ok := h2.Get("red"); !ok {
+			t.Fatalf("reserve element %d did not drain via the sweep", i)
+		}
+	}
+}
+
+func TestKeyedKilledHandleSweepAborts(t *testing.T) {
+	p := newPool(t, 4)
+	p.Handle(1).Put("red", 1)
+	if !p.Kill(0, true) {
+		t.Fatal("kill refused")
+	}
+	// The killed handle's local segment is empty (drained), and its
+	// sweep aborts at the stop check, so the remote element stays put.
+	if _, ok := p.Handle(0).Get("red"); ok {
+		t.Error("killed handle's sweep obtained an element")
+	}
+	if got := p.LenKey("red"); got != 1 {
+		t.Errorf("killed handle's Get moved elements: LenKey = %d, want 1", got)
+	}
+}
+
+func TestKeyedKillLastAliveRefusedAndRevive(t *testing.T) {
+	p := newPool(t, 2)
+	if !p.Kill(1, false) {
+		t.Fatal("first kill refused")
+	}
+	if p.Kill(0, true) {
+		t.Error("killing the last live member must be refused")
+	}
+	if p.Kill(1, true) {
+		t.Error("killing a dead member must be refused")
+	}
+	if !p.Revive(1) {
+		t.Fatal("revive failed")
+	}
+	if p.Revive(1) {
+		t.Error("reviving a live member must report false")
+	}
+	if !p.Alive(1) || !p.Victim(1) {
+		t.Error("revived member not fully re-admitted")
+	}
+	// The revived handle operates normally again.
+	h1 := p.Handle(1)
+	h1.Put("red", 9)
+	if v, ok := h1.Get("red"); !ok || v != 9 {
+		t.Errorf("revived handle Get = (%d, %v), want (9, true)", v, ok)
+	}
+}
+
+func TestKeyedPutRedirectsOffDeadSegment(t *testing.T) {
+	p := newPool(t, 4)
+	if !p.Kill(0, true) {
+		t.Fatal("kill refused")
+	}
+	h0 := p.Handle(0)
+	h0.Put("red", 1)
+	h0.PutAll("blue", []int{2, 3})
+	// Nothing may land in the dead (non-victim) segment.
+	s := &p.segs[0]
+	s.mu.Lock()
+	n0 := s.total
+	s.mu.Unlock()
+	if n0 != 0 {
+		t.Errorf("dead segment holds %d elements; deposits must redirect", n0)
+	}
+	if p.LenKey("red") != 1 || p.LenKey("blue") != 2 {
+		t.Errorf("redirected deposits lost: red=%d blue=%d", p.LenKey("red"), p.LenKey("blue"))
+	}
+	// Reachable by survivors.
+	if _, ok := p.Handle(1).Get("red"); !ok {
+		t.Error("redirected element unreachable")
+	}
+}

@@ -82,7 +82,8 @@ type Pool[K comparable, V any] struct {
 	pol     policy.Set // resolved policies (no nil slots)
 	segs    []seg[K, V]
 	handles []*Handle[K, V]
-	epoch   time.Time // flight-recorder time zero (tracing only)
+	members *engine.Membership // dynamic membership: alive/victim bits + epoch
+	epoch   time.Time          // flight-recorder time zero (tracing only)
 }
 
 type seg[K comparable, V any] struct {
@@ -139,6 +140,7 @@ func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
 	}
 	pol = pol.WithDefaults(search.Linear, false)
 	p := &Pool[K, V]{opts: opts, pol: pol, segs: make([]seg[K, V], opts.Segments)}
+	p.members = engine.NewMembership(opts.Segments)
 	var ranker policy.Ranker
 	if r, ok := pol.Order.(policy.Ranker); ok {
 		ranker = r
@@ -149,6 +151,8 @@ func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
 	p.handles = make([]*Handle[K, V], opts.Segments)
 	for i := range p.handles {
 		h := &Handle[K, V]{pool: p, id: i}
+		h.sub.members = p.members
+		h.sub.id = i
 		// The sweep is a search.Searcher like every other substrate's:
 		// the ranked preference when the victim order offers one, the
 		// ring from where elements were last found otherwise. Rank
@@ -179,6 +183,7 @@ func New[K comparable, V any](opts Options) (*Pool[K, V], error) {
 			Searcher:  srch,
 			SizeProbe: h.sizeProbe(),
 			Tracer:    h.tr,
+			Members:   p.members,
 		}, &h.sub, engine.NewBounded(opts.Segments*opts.Sweeps))
 		h.steal = h.eng.StealAmount()
 		p.handles[i] = h
@@ -239,6 +244,99 @@ func (p *Pool[K, V]) LenKey(k K) int {
 	return total
 }
 
+// Kill removes handle i from the pool's membership at runtime. With
+// drain, segment i's buckets are redistributed key-preserving across the
+// surviving victim segments and the segment leaves the victim set (adds
+// aimed at it redirect, sweeps skip it); without drain the segment stays
+// a steal-only victim whose reserve drains through the survivors'
+// steals. Kill refuses (returning false) to remove the last live
+// member, or a member already dead. The keyed pool's Bounded termination
+// never certifies exact emptiness, so unlike the plain pool no
+// transfer-wait is needed — a sweep racing the redistribution at worst
+// misses a class this pass and retries, the documented keyed semantics.
+func (p *Pool[K, V]) Kill(i int, drain bool) bool {
+	if !p.members.Leave(i, !drain) {
+		return false
+	}
+	if h := p.handles[i]; h.tr != nil {
+		d := int32(0)
+		if drain {
+			d = 1
+		}
+		h.tr.Record(trace.MemberLeave, int32(i), d)
+	}
+	if drain {
+		p.redistribute(i)
+	}
+	return true
+}
+
+// redistribute drains segment i's buckets into the surviving victim
+// segments, round-robin by bucket from i's ring successor so one
+// survivor does not absorb the whole segment, and bumps the membership
+// epoch once the elements have landed.
+func (p *Pool[K, V]) redistribute(i int) {
+	s := &p.segs[i]
+	s.mu.Lock()
+	buckets := s.buckets
+	moved := s.total
+	s.buckets = make(map[K]*segment.Deque[V])
+	s.total = 0
+	s.spare = nil
+	s.mu.Unlock()
+	n := len(p.segs)
+	next := i
+	for k, b := range buckets {
+		elems := b.TakeOut(nil, b.Len())
+		if len(elems) == 0 {
+			continue
+		}
+		t := -1
+		for off := 1; off <= n; off++ {
+			c := (next + off) % n
+			if p.members.Victim(c) {
+				t = c
+				break
+			}
+		}
+		if t < 0 {
+			t = i // unreachable: Leave keeps at least one live (victim) member
+		}
+		next = t
+		dst := &p.segs[t]
+		dst.mu.Lock()
+		dst.bucket(k).AddAll(elems)
+		dst.total += len(elems)
+		dst.mu.Unlock()
+	}
+	e := p.members.Bump()
+	if h := p.handles[i]; h.tr != nil {
+		h.tr.Record(trace.EpochBump, int32(e&0x7fffffff), int32(moved))
+	}
+}
+
+// Revive re-admits a killed handle: its segment rejoins the victim set
+// and alive set, and the membership epoch bumps so in-flight sweeps see
+// the topology change. Reviving a live member returns false.
+func (p *Pool[K, V]) Revive(i int) bool {
+	if !p.members.Join(i) {
+		return false
+	}
+	if h := p.handles[i]; h.tr != nil {
+		h.tr.Record(trace.MemberJoin, int32(i), 0)
+	}
+	return true
+}
+
+// Alive reports whether handle i is a live member.
+func (p *Pool[K, V]) Alive(i int) bool { return p.members.Alive(i) }
+
+// Victim reports whether segment i is in the victim set.
+func (p *Pool[K, V]) Victim(i int) bool { return p.members.Victim(i) }
+
+// Epoch returns the current membership epoch.
+func (p *Pool[K, V]) Epoch() uint64 { return p.members.Epoch() }
+
 // Handle is one process's attachment to a keyed pool segment. A Handle
 // may be used by only one goroutine at a time. Its searches run through
 // the shared engine: the handle supplies bucket probes, the engine owns
@@ -292,10 +390,24 @@ func (h *Handle[K, V]) sizeProbe() func(s int) int {
 	}
 }
 
+// placeTarget redirects a deposit aimed at segment s to a live victim
+// when s has left the victim set (drain-killed), so a dead member's
+// segment stays empty and sweeps may skip it. The common case — s still
+// a victim — is one atomic load.
+func (p *Pool[K, V]) placeTarget(s int) int {
+	if p.members.Victim(s) {
+		return s
+	}
+	if t := p.members.FallbackVictim(s); t >= 0 {
+		return t
+	}
+	return s
+}
+
 // Put adds an element of class k to the local segment — or to the
 // segment a Director placement selects. O(1) without a Director.
 func (h *Handle[K, V]) Put(k K, v V) {
-	s := &h.pool.segs[h.eng.DirectTarget(1)]
+	s := &h.pool.segs[h.pool.placeTarget(h.eng.DirectTarget(1))]
 	s.mu.Lock()
 	s.bucket(k).Add(v)
 	s.total++
@@ -309,7 +421,7 @@ func (h *Handle[K, V]) PutAll(k K, vs []V) {
 	if len(vs) == 0 {
 		return
 	}
-	s := &h.pool.segs[h.eng.DirectTarget(len(vs))]
+	s := &h.pool.segs[h.pool.placeTarget(h.eng.DirectTarget(len(vs)))]
 	s.mu.Lock()
 	s.bucket(k).AddAll(vs)
 	s.total += len(vs)
@@ -497,7 +609,7 @@ func (h *Handle[K, V]) stealNFrom(sIdx int, k K, max int) []V {
 		out[i] = buf[moved-1-i]
 	}
 	if moved > n {
-		dst := &p.segs[h.id]
+		dst := &p.segs[p.placeTarget(h.id)]
 		dst.mu.Lock()
 		dst.bucket(k).AddAll(buf[:moved-n])
 		dst.total += moved - n
@@ -571,7 +683,7 @@ func (h *Handle[K, V]) stealAnyFrom(sIdx int) (K, V, bool) {
 	moved := len(buf)
 	v := buf[moved-1]
 	if moved > 1 {
-		dst := &p.segs[h.id]
+		dst := &p.segs[p.placeTarget(h.id)]
 		dst.mu.Lock()
 		dst.bucket(key).AddAll(buf[:moved-1])
 		dst.total += moved - 1
@@ -588,7 +700,9 @@ func (h *Handle[K, V]) stealAnyFrom(sIdx int) (K, V, bool) {
 // Enter/Exit bookkeeping — emptiness is decidable per class, so there is
 // no lookers count to maintain — and no hard stops.
 type keyedSubstrate struct {
-	probe func(sIdx int) int
+	probe   func(sIdx int) int
+	members *engine.Membership
+	id      int
 }
 
 var _ engine.Substrate = (*keyedSubstrate)(nil)
@@ -596,8 +710,10 @@ var _ engine.Substrate = (*keyedSubstrate)(nil)
 // Probe implements engine.Substrate.
 func (s *keyedSubstrate) Probe(sIdx, _ int) int { return s.probe(sIdx) }
 
-// Stopped implements engine.Substrate.
-func (s *keyedSubstrate) Stopped() bool { return false }
+// Stopped implements engine.Substrate. A killed handle's in-flight
+// sweep aborts at the next stop check instead of walking the ring on a
+// dead member's behalf.
+func (s *keyedSubstrate) Stopped() bool { return !s.members.Alive(s.id) }
 
 // Enter implements engine.Substrate.
 func (s *keyedSubstrate) Enter(int) {}

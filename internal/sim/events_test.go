@@ -91,6 +91,81 @@ func TestGoldenChromeTrace(t *testing.T) {
 	}
 }
 
+// goldenChaosRun is the pinned churn configuration: a short steady run
+// with a drain-kill schedule aggressive enough that kills, epoch bumps,
+// and revives all land on the timeline.
+func goldenChaosRun() RunResult {
+	return Run(RunConfig{
+		Workload: workload.Config{
+			Procs:           3,
+			Model:           workload.RandomOps,
+			AddFraction:     0.5,
+			TotalOps:        300,
+			InitialElements: 24,
+		},
+		Search:   search.Linear,
+		Costs:    numa.ButterflyCosts(),
+		Seed:     7,
+		EventBuf: 2048,
+		Churn:    workload.Churn{KillEvery: 400, ReviveAfter: 300, Drain: true, MaxKills: 4},
+	})
+}
+
+// TestGoldenChromeChaosTrace pins the churn run's Chrome export the same
+// way TestGoldenChromeTrace pins the steady one, and requires every
+// membership kind to appear: member_leave and epoch_bump from the drain
+// kills, member_join from the revives.
+func TestGoldenChromeChaosTrace(t *testing.T) {
+	res := goldenChaosRun()
+	counts := map[trace.Kind]int{}
+	for _, tl := range res.Events {
+		for _, ev := range tl.Events {
+			counts[ev.Kind]++
+		}
+	}
+	for _, k := range []trace.Kind{trace.MemberLeave, trace.MemberJoin, trace.EpochBump} {
+		if counts[k] == 0 {
+			t.Errorf("no %s events recorded; churn schedule too gentle to pin", k)
+		}
+	}
+	if counts[trace.MemberLeave] != counts[trace.EpochBump] {
+		t.Errorf("drain kills must bump the epoch once each: %d leaves, %d bumps",
+			counts[trace.MemberLeave], counts[trace.EpochBump])
+	}
+	if len(res.Churn) == 0 {
+		t.Fatal("run reported no churn events")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.ChromeJSON(&buf, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_chaos_trace.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chaos Chrome trace diverged from golden file (len %d vs %d); "+
+			"if the protocol or exporter changed intentionally, rerun with -update-golden",
+			buf.Len(), len(want))
+	}
+
+	again := goldenChaosRun()
+	var buf2 bytes.Buffer
+	if err := trace.ChromeJSON(&buf2, again.Events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("seeded chaos trace is not deterministic across runs")
+	}
+}
+
 // TestEventTimelineContent sanity-checks the recorded protocol against
 // the run's aggregate stats: every steal the stats counted appears as a
 // reserve/transfer edge, and searches are balanced begin/end.

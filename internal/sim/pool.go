@@ -71,6 +71,8 @@ type Pool[T any] struct {
 	drainAbort   bool
 	emptyAbort   bool // latched when all participants were seen searching
 
+	members *engine.Membership // dynamic membership: alive/victim bits + epoch
+
 	traces []metrics.Trace
 	recs   []*trace.Recorder // per-proc flight recorders (EventBuf only)
 }
@@ -102,6 +104,7 @@ func NewPool[T any](cfg PoolConfig) *Pool[T] {
 		segRes:       make([]Resource, cfg.Procs),
 		counter:      Resource{Name: "lookers"},
 		participants: cfg.Procs,
+		members:      engine.NewMembership(cfg.Procs),
 	}
 	for i := range p.segRes {
 		p.segRes[i].Name = fmt.Sprintf("segment-%d", i)
@@ -180,6 +183,84 @@ func (p *Pool[T]) SegmentWaited(i int) int64 { return p.segRes[i].Waited() }
 // mid-search does not spin forever after the run ends.
 func (p *Pool[T]) AbortAll() { p.drainAbort = true }
 
+// Kill removes processor i from the simulated membership at the current
+// virtual time, as if its processor failed: the victim's in-flight
+// search aborts at its next stop check and it stops counting toward the
+// all-searching rule. With drain=true its segment is emptied and
+// redistributed across the surviving victim segments (charged to the
+// calling driver, like any relocation on the simulated machine); with
+// drain=false the segment degrades to a steal-only victim. Kill refuses
+// to remove the last live member and reports whether it happened.
+func (p *Pool[T]) Kill(env *Env, i int, drain bool) bool {
+	if !p.members.Leave(i, !drain) {
+		return false
+	}
+	if p.participants > 0 {
+		p.participants--
+	}
+	if p.recs != nil && p.recs[i] != nil {
+		d := int32(0)
+		if drain {
+			d = 1
+		}
+		p.recs[i].Record(trace.MemberLeave, int32(i), d)
+	}
+	if drain {
+		p.relocate(env, i)
+	}
+	return true
+}
+
+// relocate empties killed segment i round-robin across the surviving
+// victim segments, charging the driver one remove access for the drain
+// and one add access per destination visit. The simulator is
+// cooperative — no other processor runs during the relocation — so no
+// transfer guard is needed; the epoch bump still mirrors the real
+// pool's, keeping traces comparable across substrates.
+func (p *Pool[T]) relocate(env *Env, i int) {
+	env.Charge(&p.segRes[i], p.cfg.Costs.Cost(numa.AccessRemove, i, i))
+	items := p.segs[i].Drain()
+	p.recordTrace(env, i)
+	k := 0
+	for off := 0; k < len(items); off++ {
+		t := (i + 1 + off) % len(p.segs)
+		if !p.members.Victim(t) {
+			continue
+		}
+		env.Charge(&p.segRes[t], p.cfg.Costs.Cost(numa.AccessAdd, i, t))
+		p.segs[t].Add(items[k])
+		k++
+		p.recordTrace(env, t)
+	}
+	e := p.members.Bump()
+	if p.recs != nil && p.recs[i] != nil {
+		p.recs[i].Record(trace.EpochBump, int32(e&0x7fffffff), int32(len(items)))
+	}
+}
+
+// Revive re-admits processor i: it rejoins the membership (and the
+// participant count), its segment rejoins the victim set, and the
+// empty-abort latch is cleared so searches re-observe the pool under
+// the new membership. It reports whether i was in fact dead.
+func (p *Pool[T]) Revive(i int) bool {
+	if !p.members.Join(i) {
+		return false
+	}
+	p.participants++
+	p.emptyAbort = false
+	if p.recs != nil && p.recs[i] != nil {
+		p.recs[i].Record(trace.MemberJoin, int32(i), 0)
+	}
+	return true
+}
+
+// Alive reports whether processor i is a live member.
+func (p *Pool[T]) Alive(i int) bool { return p.members.Alive(i) }
+
+// Epoch returns the pool's membership epoch (bumped on every kill,
+// revive, and kill-time relocation).
+func (p *Pool[T]) Epoch() uint64 { return p.members.Epoch() }
+
 // recordTrace logs segment s's size at the current virtual time.
 func (p *Pool[T]) recordTrace(env *Env, s int) {
 	if p.traces == nil {
@@ -228,6 +309,7 @@ func (p *Pool[T]) Proc(env *Env) *Proc[T] {
 		Stats:     &pr.stats,
 		SizeProbe: pr.sizeProbe(),
 		Tracer:    rec,
+		Members:   p.members,
 	}, &pr.sub, term)
 	pr.steal = pr.eng.StealAmount()
 	return pr
@@ -420,7 +502,7 @@ func (w *simSubstrate[T]) Exit() {
 // observation; the next add clears the latch).
 func (w *simSubstrate[T]) Stopped() bool {
 	p := w.proc.pool
-	return p.drainAbort || p.emptyAbort
+	return p.drainAbort || p.emptyAbort || !p.members.Alive(w.proc.id)
 }
 
 // Probe implements engine.Substrate: probe (remote) segment s and move

@@ -32,6 +32,28 @@ type RunConfig struct {
 	// events to every processor (PoolConfig.EventBuf); the recorded
 	// timelines come back in RunResult.Events, deterministic for a seed.
 	EventBuf int
+	// Churn, when enabled, layers a seeded kill/revive schedule over the
+	// run: an extra driver process ticks on the virtual clock, kills one
+	// live processor at a time (workload.Churn), revives it after the
+	// configured downtime, and samples cumulative completed operations
+	// into RunResult.OpsTrace so throughput dip and recovery are
+	// measurable. Killed processors idle (consuming virtual time but no
+	// budget) until revived. Not supported under the OpenLoop model,
+	// whose arrival streams assume a fixed processor set. A disabled
+	// schedule leaves the run byte-identical to a config without it.
+	Churn workload.Churn
+}
+
+// ChurnEvent is one membership transition the chaos driver performed.
+type ChurnEvent struct {
+	// Time is the virtual time of the transition (µs).
+	Time int64
+	// Proc is the processor killed or revived.
+	Proc int
+	// Revive distinguishes the two transitions.
+	Revive bool
+	// Drain records the kill mode (meaningless on revives).
+	Drain bool
 }
 
 // ControllerTrace is one processor's controller trajectory over virtual
@@ -74,7 +96,23 @@ type RunResult struct {
 	// Events are the per-processor flight-recorder timelines (only when
 	// RunConfig.EventBuf), on the virtual clock.
 	Events []trace.Timeline
+	// OpsTrace is cumulative completed operations sampled on the virtual
+	// clock by the chaos driver (only when RunConfig.Churn is enabled).
+	// Windowed differences give the throughput curve around each kill.
+	OpsTrace metrics.Trace
+	// Churn lists the membership transitions the chaos driver performed,
+	// in virtual-time order (only when RunConfig.Churn is enabled).
+	Churn []ChurnEvent
 }
+
+// Chaos-driver cadence on the virtual clock: how often the driver
+// samples cumulative ops (and checks its kill/revive schedule), and how
+// long a killed processor idles between alive checks. Coarse enough not
+// to distort the run, fine enough to resolve a downtime window.
+const (
+	churnSampleEvery = 100 // µs between driver ticks
+	churnIdleTick    = 50  // µs a killed processor idles per alive check
+)
 
 // Run executes one trial and returns its measurements. It is deterministic
 // given RunConfig (including Seed).
@@ -82,6 +120,19 @@ func Run(cfg RunConfig) RunResult {
 	wl := cfg.Workload
 	if err := wl.Validate(); err != nil {
 		panic(err) // programmer error: harness configs are static
+	}
+	churn := cfg.Churn
+	if err := churn.Validate(); err != nil {
+		panic(err)
+	}
+	churnOn := churn.Enabled()
+	if churnOn && wl.Model == workload.OpenLoop {
+		// The open-loop arrival streams assume a fixed processor set; a
+		// killed processor's arrivals have nowhere to go.
+		panic("sim: Churn is not supported under the OpenLoop model")
+	}
+	if churnOn && wl.Procs < 2 {
+		panic("sim: Churn needs at least 2 processors (the last live member cannot be killed)")
 	}
 	searchLaps := 0
 	if wl.Model == workload.OpenLoop {
@@ -104,7 +155,15 @@ func Run(cfg RunConfig) RunResult {
 	})
 	pool.Seed(wl.InitialElements, func(int) Token { return Token{} })
 
-	s := New(wl.Procs)
+	// The chaos driver, when churn is on, is one extra scheduler process
+	// with the highest id: at equal clocks the scheduler grants lower
+	// ids first, so every worker binds its Proc before the driver's
+	// first tick can kill one.
+	nprocs := wl.Procs
+	if churnOn {
+		nprocs++
+	}
+	s := New(nprocs)
 	// The shared operation counter is a real shared-memory location in the
 	// paper's driver ("the processes performed operations until the
 	// combined total number of operations reached the desired amount"):
@@ -171,6 +230,18 @@ func Run(cfg RunConfig) RunResult {
 				}
 			}
 			for {
+				if churnOn && !pool.Alive(id) {
+					// Killed: idle on the virtual clock — no budget
+					// claims, no pool accesses — until revived or the
+					// run ends. (Zero-churn runs never reach this check,
+					// so their schedules are untouched.)
+					if budget <= 0 {
+						pool.AbortAll()
+						return
+					}
+					env.Compute(churnIdleTick)
+					continue
+				}
 				env.Charge(&budgetRes, cfg.Costs.Cost(numa.AccessShared, id, -1))
 				if budget <= 0 {
 					// Run over: release any processors stuck searching.
@@ -213,6 +284,48 @@ func Run(cfg RunConfig) RunResult {
 			}
 		})
 	}
+	var opsTrace metrics.Trace
+	var churnEvents []ChurnEvent
+	if churnOn {
+		s.Spawn(wl.Procs, func(env *Env) {
+			gen := churn.Gen(cfg.Seed)
+			victim := -1
+			var nextRevive int64
+			nextKill := gen.NextGap() // schedule the first kill from t=0
+			for {
+				env.Compute(churnSampleEvery)
+				if budget <= 0 {
+					return
+				}
+				ops := int64(0)
+				for _, pr := range procs {
+					if pr != nil {
+						ops += pr.Stats().Ops()
+					}
+				}
+				opsTrace.Record(env.Now(), ops)
+				switch {
+				case victim < 0 && nextKill >= 0 && env.Now() >= nextKill:
+					t := gen.PickVictim(wl.Procs)
+					if !pool.Kill(env, t, churn.Drain) {
+						break // refused (last live member): retry next tick
+					}
+					victim = t
+					churnEvents = append(churnEvents, ChurnEvent{Time: env.Now(), Proc: t, Drain: churn.Drain})
+					nextRevive = env.Now() + churn.ReviveAfter
+				case victim >= 0 && env.Now() >= nextRevive:
+					pool.Revive(victim)
+					churnEvents = append(churnEvents, ChurnEvent{Time: env.Now(), Proc: victim, Revive: true})
+					victim = -1
+					if gap := gen.NextGap(); gap >= 0 {
+						nextKill = env.Now() + gap
+					} else {
+						nextKill = -1 // schedule exhausted (MaxKills)
+					}
+				}
+			}
+		})
+	}
 	makespan := s.Run()
 
 	res := RunResult{
@@ -224,6 +337,8 @@ func Run(cfg RunConfig) RunResult {
 		Remaining:     pool.Len(),
 		Sojourns:      sojourns,
 		Events:        pool.Timelines(),
+		OpsTrace:      opsTrace,
+		Churn:         churnEvents,
 	}
 	for id, pr := range procs {
 		res.PerProc[id] = *pr.Stats()

@@ -86,6 +86,20 @@ const (
 	// controller. Arg1 = elements obtained (-1 when aborted),
 	// Arg2 = probes examined.
 	Feedback
+	// MemberLeave records a handle leaving the pool's membership (a kill
+	// or a departure). Arg1 = departed segment, Arg2 = 1 when its
+	// segment was drained and redistributed, 0 when it degraded to a
+	// steal-only victim.
+	MemberLeave
+	// MemberJoin records a handle (re)joining the membership: its
+	// segment is re-admitted to victim orders and placements.
+	// Arg1 = joined segment.
+	MemberJoin
+	// EpochBump records a membership-epoch advance outside leave/join —
+	// a kill-time drain relocating elements — which invalidates every
+	// in-flight coverage certificate. Arg1 = low 31 bits of the new
+	// epoch, Arg2 = elements relocated.
+	EpochBump
 	// numKinds bounds the Kind space for the name table.
 	numKinds
 )
@@ -107,6 +121,9 @@ var kindNames = [numKinds]string{
 	TenantForeignSteal:   "tenant_foreign_steal",
 	DirectPlace:          "direct_place",
 	Feedback:             "feedback",
+	MemberLeave:          "member_leave",
+	MemberJoin:           "member_join",
+	EpochBump:            "epoch_bump",
 }
 
 // String returns the stable snake_case name used by the JSON and CSV

@@ -67,6 +67,38 @@ func TestRecorderWraparound(t *testing.T) {
 	}
 }
 
+// TestRecorderMembershipWraparound drives the membership kinds through
+// a wrapping ring: a kill/relocate/revive cycle repeated past capacity
+// must surface only the newest transitions, kinds intact, with the
+// overwritten prefix counted — the flight recorder's contract does not
+// bend for the chaos path.
+func TestRecorderMembershipWraparound(t *testing.T) {
+	var now int64
+	r := NewRecorder(1, 4, func() int64 { now++; return now })
+	for cycle := int32(0); cycle < 5; cycle++ {
+		r.Record(MemberLeave, cycle, 1)
+		r.Record(EpochBump, cycle*2+1, 7)
+		r.Record(MemberJoin, cycle, 0)
+	}
+	if got := r.Dropped(); got != 11 {
+		t.Fatalf("Dropped = %d, want 11", got)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	want := []Kind{MemberJoin, MemberLeave, EpochBump, MemberJoin}
+	for i, ev := range evs {
+		if ev.Kind != want[i] {
+			t.Errorf("event %d kind = %s, want %s", i, ev.Kind, want[i])
+		}
+	}
+	// The surviving tail is the final cycle plus the prior revive.
+	if evs[1].Arg1 != 4 || evs[2].Arg1 != 9 || evs[3].Arg1 != 4 {
+		t.Errorf("surviving args wrong: %+v", evs)
+	}
+}
+
 // TestRecorderPartialFill checks the pre-wrap snapshot: fewer events
 // than capacity come back in insertion order with nothing dropped.
 func TestRecorderPartialFill(t *testing.T) {
