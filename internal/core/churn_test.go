@@ -49,9 +49,7 @@ func TestKillDrainRedistributes(t *testing.T) {
 	if got := p.Len(); got != 40 {
 		t.Errorf("redistribution lost elements: Len = %d, want 40", got)
 	}
-	p.segs[0].mu.Lock()
 	n0 := p.segs[0].dq.Len()
-	p.segs[0].mu.Unlock()
 	if n0 != 0 {
 		t.Errorf("drained segment still holds %d elements", n0)
 	}
@@ -64,9 +62,7 @@ func TestKillDrainRedistributes(t *testing.T) {
 	}
 	// A deposit aimed at the dead segment redirects to a victim.
 	h0.Put(99)
-	p.segs[0].mu.Lock()
 	n0 = p.segs[0].dq.Len()
-	p.segs[0].mu.Unlock()
 	if n0 != 0 {
 		t.Error("deposit landed in a non-victim segment")
 	}

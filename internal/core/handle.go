@@ -139,20 +139,25 @@ func (h *Handle[T]) Closed() bool { return h.state.Load() == hsClosed }
 // Stats returns a snapshot of this handle's operation statistics.
 func (h *Handle[T]) Stats() metrics.PoolStats { return h.stats }
 
-// now returns the current time if stats are being collected.
-func (h *Handle[T]) now() time.Time {
+// now returns nanoseconds since pool creation when stats are being
+// collected, -1 otherwise. It reads only the monotonic clock (one
+// nanotime; p.base carries a monotonic reading, so time.Since never
+// touches the wall clock) — the stats-on hot path was dominated by
+// time.Now's paired wall+monotonic reads before this.
+func (h *Handle[T]) now() int64 {
 	if !h.pool.opts.CollectStats {
-		return time.Time{}
+		return -1
 	}
-	return time.Now()
+	return int64(time.Since(h.pool.base))
 }
 
-// sinceMicros returns elapsed µs since start (0 when stats are disabled).
-func sinceMicros(start time.Time) int64 {
-	if start.IsZero() {
+// since returns elapsed µs since a now() stamp (0 when stats are
+// disabled).
+func (h *Handle[T]) since(start int64) int64 {
+	if start < 0 {
 		return 0
 	}
-	return time.Since(start).Microseconds()
+	return (int64(time.Since(h.pool.base)) - start) / 1000
 }
 
 // Put adds an element to the pool: into a hungry searcher's mailbox when
@@ -168,7 +173,7 @@ func (h *Handle[T]) Put(v T) {
 		p.version.Add(1)
 		if p.opts.CollectStats {
 			h.stats.DirectedGives++
-			h.stats.RecordAdd(sinceMicros(start))
+			h.stats.RecordAdd(h.since(start))
 		}
 		if h.tr != nil {
 			h.tr.Record(trace.GiftSend, -1, 1)
@@ -177,13 +182,18 @@ func (h *Handle[T]) Put(v T) {
 	}
 	target := p.placeTarget(h.eng.DirectTarget(1))
 	p.opts.Delay.Delay(numa.AccessAdd, h.id, target)
-	s := &p.segs[target]
-	s.mu.Lock()
-	s.dq.Add(v)
-	s.mu.Unlock()
+	if target == h.id {
+		// The owner's lock-free bottom: no lock on the local add path.
+		p.segs[target].dq.PushBottom(v)
+	} else {
+		// A Director placement aimed elsewhere: only the owner may touch
+		// a segment's bottom, so the add goes through the target's
+		// lock-guarded foreign overflow.
+		p.segs[target].dq.AddForeign(v)
+	}
 	p.version.Add(1)
 	if p.opts.CollectStats {
-		h.stats.RecordAdd(sinceMicros(start))
+		h.stats.RecordAdd(h.since(start))
 	}
 }
 
@@ -215,20 +225,21 @@ func (h *Handle[T]) PutAll(items []T) {
 		if gifted == len(items) {
 			p.version.Add(1)
 			if p.opts.CollectStats {
-				h.stats.RecordBatchAdd(sinceMicros(start), gifted)
+				h.stats.RecordBatchAdd(h.since(start), gifted)
 			}
 			return
 		}
 	}
 	target := p.placeTarget(h.eng.DirectTarget(len(items) - gifted))
 	p.opts.Delay.Delay(numa.AccessAdd, h.id, target)
-	s := &p.segs[target]
-	s.mu.Lock()
-	s.dq.AddAll(items[gifted:])
-	s.mu.Unlock()
+	if target == h.id {
+		p.segs[target].dq.PushBottomAll(items[gifted:])
+	} else {
+		p.segs[target].dq.AddForeignAll(items[gifted:])
+	}
 	p.version.Add(1)
 	if p.opts.CollectStats {
-		h.stats.RecordBatchAdd(sinceMicros(start), len(items))
+		h.stats.RecordBatchAdd(h.since(start), len(items))
 	}
 }
 
@@ -253,17 +264,25 @@ func (h *Handle[T]) TryPut(v T) bool {
 		}
 		p.opts.Delay.Delay(numa.AccessAdd, h.id, idx)
 		s := &p.segs[idx]
-		s.mu.Lock()
-		if s.dq.Len() < cap {
-			s.dq.Add(v)
-			s.mu.Unlock()
+		placed := false
+		if idx == h.id {
+			// Own segment: the owner is the only bottom-pusher, so the
+			// size check cannot race another add (foreign adds can only
+			// make it stale toward rejection on the next segment).
+			if s.dq.Len() < cap {
+				s.dq.PushBottom(v)
+				placed = true
+			}
+		} else {
+			placed = s.dq.AddForeignIfUnder(v, cap)
+		}
+		if placed {
 			p.version.Add(1)
 			if p.opts.CollectStats {
-				h.stats.RecordAdd(sinceMicros(start))
+				h.stats.RecordAdd(h.since(start))
 			}
 			return true
 		}
-		s.mu.Unlock()
 	}
 	return false
 }
@@ -275,12 +294,9 @@ func (h *Handle[T]) TryGetLocal() (T, bool) {
 	p := h.pool
 	start := h.now()
 	p.opts.Delay.Delay(numa.AccessRemove, h.id, h.id)
-	s := &p.segs[h.id]
-	s.mu.Lock()
-	v, ok := s.dq.Remove()
-	s.mu.Unlock()
+	v, ok := p.segs[h.id].dq.PopBottom()
 	if ok && p.opts.CollectStats {
-		h.stats.RecordLocalRemove(sinceMicros(start))
+		h.stats.RecordLocalRemove(h.since(start))
 	}
 	return v, ok
 }
@@ -300,17 +316,15 @@ func (h *Handle[T]) Get() (T, bool) {
 	h.Register()
 	start := h.now()
 
-	// Fast path: local segment.
+	// Fast path: the owner's lock-free bottom. Only a thief contending
+	// for the very last element can send this to the segment lock.
 	p.opts.Delay.Delay(numa.AccessRemove, h.id, h.id)
-	s := &p.segs[h.id]
-	s.mu.Lock()
-	v, ok := s.dq.Remove()
-	s.mu.Unlock()
+	v, ok := p.segs[h.id].dq.PopBottom()
 	if ok {
 		if p.opts.CollectStats {
-			h.stats.RecordLocalRemove(sinceMicros(start))
+			h.stats.RecordLocalRemove(h.since(start))
 		}
-		h.observe(policy.Feedback{Got: 1, Elapsed: sinceMicros(start)})
+		h.observe(policy.Feedback{Got: 1, Elapsed: h.since(start)})
 		return v, true
 	}
 
@@ -324,22 +338,22 @@ func (h *Handle[T]) Get() (T, bool) {
 			h.parkLocal(g.rest())
 			if p.opts.CollectStats {
 				h.stats.DirectedReceives += int64(g.count())
-				h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, g.count())
+				h.stats.RecordStealRemove(h.since(start), h.since(searchStart), res.Examined, g.count())
 			}
-			h.observe(policy.Feedback{Examined: res.Examined, Got: g.count(), Elapsed: sinceMicros(start)})
+			h.observe(policy.Feedback{Examined: res.Examined, Got: g.count(), Elapsed: h.since(start)})
 			return v, true
 		}
 		if p.opts.CollectStats {
-			h.stats.RecordAbort(sinceMicros(start))
+			h.stats.RecordAbort(h.since(start))
 		}
-		h.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: sinceMicros(start)})
+		h.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: h.since(start)})
 		return zero, false
 	}
 	v = h.sub.takeReserved()
 	if p.opts.CollectStats {
-		h.stats.RecordStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, res.Got)
+		h.stats.RecordStealRemove(h.since(start), h.since(searchStart), res.Examined, res.Got)
 	}
-	h.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: sinceMicros(start)})
+	h.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: h.since(start)})
 	return v, true
 }
 
@@ -353,10 +367,11 @@ func (h *Handle[T]) parkLocal(items []T) {
 		return
 	}
 	p := h.pool
-	s := &p.segs[p.placeTarget(h.id)]
-	s.mu.Lock()
-	s.dq.AddAll(items)
-	s.mu.Unlock()
+	if t := p.placeTarget(h.id); t == h.id {
+		p.segs[t].dq.PushBottomAll(items)
+	} else {
+		p.segs[t].dq.AddForeignAll(items)
+	}
 	p.version.Add(1)
 }
 
@@ -407,17 +422,15 @@ func (h *Handle[T]) GetN(max int) []T {
 	h.Register()
 	start := h.now()
 
-	// Fast path: drain the local segment under one lock.
+	// Fast path: drain the local segment through the owner's bottom.
 	p.opts.Delay.Delay(numa.AccessRemove, h.id, h.id)
 	s := &p.segs[h.id]
-	s.mu.Lock()
-	out := s.dq.RemoveN(max)
-	s.mu.Unlock()
+	out := s.dq.PopBottomN(max)
 	if len(out) > 0 {
 		if p.opts.CollectStats {
-			h.stats.RecordBatchLocalRemove(sinceMicros(start), len(out))
+			h.stats.RecordBatchLocalRemove(h.since(start), len(out))
 		}
-		h.observe(policy.Feedback{Got: len(out), Elapsed: sinceMicros(start)})
+		h.observe(policy.Feedback{Got: len(out), Elapsed: h.since(start)})
 		return out
 	}
 
@@ -437,15 +450,15 @@ func (h *Handle[T]) GetN(max int) []T {
 			}
 			if p.opts.CollectStats {
 				h.stats.DirectedReceives += int64(g.count())
-				h.stats.RecordBatchStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, g.count(), len(out))
+				h.stats.RecordBatchStealRemove(h.since(start), h.since(searchStart), res.Examined, g.count(), len(out))
 			}
-			h.observe(policy.Feedback{Examined: res.Examined, Got: g.count(), Elapsed: sinceMicros(start)})
+			h.observe(policy.Feedback{Examined: res.Examined, Got: g.count(), Elapsed: h.since(start)})
 			return out
 		}
 		if p.opts.CollectStats {
-			h.stats.RecordAbort(sinceMicros(start))
+			h.stats.RecordAbort(h.since(start))
 		}
-		h.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: sinceMicros(start)})
+		h.observe(policy.Feedback{Aborted: true, Examined: res.Examined, Elapsed: h.since(start)})
 		return nil
 	}
 	// The steal moved res.Got elements into the local segment and reserved
@@ -453,14 +466,12 @@ func (h *Handle[T]) GetN(max int) []T {
 	out = make([]T, 1, max)
 	out[0] = h.sub.takeReserved()
 	if max > 1 {
-		s.mu.Lock()
-		out = append(out, s.dq.RemoveN(max-1)...)
-		s.mu.Unlock()
+		out = append(out, s.dq.PopBottomN(max-1)...)
 	}
 	if p.opts.CollectStats {
-		h.stats.RecordBatchStealRemove(sinceMicros(start), sinceMicros(searchStart), res.Examined, res.Got, len(out))
+		h.stats.RecordBatchStealRemove(h.since(start), h.since(searchStart), res.Examined, res.Got, len(out))
 	}
-	h.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: sinceMicros(start)})
+	h.observe(policy.Feedback{Stole: true, Examined: res.Examined, Got: res.Got, Elapsed: h.since(start)})
 	return out
 }
 
@@ -514,9 +525,11 @@ func (w *substrate[T]) Stopped() bool {
 }
 
 // Probe implements engine.Substrate. Probing the local segment reports
-// its size and reserves one element if available. Probing a remote
-// segment reserves the StealAmount policy's share into the handle's
-// private steal buffer under the victim's lock alone, then deposits the
+// its size and reserves one element if available, through the owner's
+// lock-free bottom. Probing a remote segment reserves the StealAmount
+// policy's share into the handle's private steal buffer under the
+// victim's steal lock alone (OwnerDeque.StealInto: foreign overflow
+// first, then claim-validated top-of-ring takes), then deposits the
 // surplus into the local segment after unlocking — the lock-hold
 // shortening that keeps a steal from serializing the victim against the
 // thief's own segment. The buffer is reused across calls, so the steal
@@ -529,34 +542,41 @@ func (w *substrate[T]) Probe(sIdx, want int) int {
 
 	if sIdx == self {
 		s := &p.segs[self]
-		s.mu.Lock()
 		n := s.dq.Len()
 		if n > 0 {
-			w.reserved, _ = s.dq.Remove()
+			v, ok := s.dq.PopBottom()
+			if !ok {
+				// A thief emptied the segment between the size read and
+				// the pop; nothing was reserved, so report empty. The
+				// element the thief took is covered by its own transfer
+				// accounting.
+				return 0
+			}
+			w.reserved = v
 			w.has = true
 		}
-		s.mu.Unlock()
 		return n
 	}
 
+	// Between the victim unlock and the local deposit the stolen batch
+	// lives only in the handle's buffer — in no segment, invisible to
+	// probes. The moving count keeps the Coverage rule from certifying
+	// emptiness over it; raised before the claims begin so there is no
+	// gap, dropped only after the deposit's version bump so a searcher
+	// that reads zero is guaranteed to see the bump and re-arm.
+	p.moving.Add(1)
 	src := &p.segs[sIdx]
-	src.mu.Lock()
-	n := src.dq.Len()
-	if n == 0 {
-		src.mu.Unlock()
+	buf := src.dq.StealInto(h.stealBuf[:0], func(n int) int {
+		// Consulted under the victim's steal lock, only when n > 0 —
+		// the same point the lock-era path sized its TakeOut.
+		p.opts.Delay.Delay(numa.AccessSplit, self, sIdx)
+		return h.steal.Amount(n, want)
+	})
+	moved := len(buf)
+	if moved == 0 {
+		p.moving.Add(-1)
 		return 0
 	}
-	p.opts.Delay.Delay(numa.AccessSplit, self, sIdx)
-	buf := src.dq.TakeOut(h.stealBuf[:0], h.steal.Amount(n, want))
-	// Between the victim unlock and the local deposit the surplus lives
-	// only in the handle's buffer — in no segment, invisible to probes.
-	// The moving count keeps the Coverage rule from certifying emptiness
-	// over it; raised before the unlock so there is no gap, dropped only
-	// after the deposit's version bump so a searcher that reads zero is
-	// guaranteed to see the bump and re-arm.
-	p.moving.Add(1)
-	src.mu.Unlock()
-	moved := len(buf)
 	w.reserved = buf[moved-1]
 	w.has = true
 	if moved > 1 {
@@ -564,10 +584,11 @@ func (w *substrate[T]) Probe(sIdx, want int) int {
 		// start and this deposit; placeTarget reads the victim bit after
 		// Kill's membership store, so the surplus lands where searches
 		// (and the kill-time drain's moving-wait) still find it.
-		dst := &p.segs[p.placeTarget(self)]
-		dst.mu.Lock()
-		dst.dq.AddAll(buf[:moved-1])
-		dst.mu.Unlock()
+		if t := p.placeTarget(self); t == self {
+			p.segs[t].dq.PushBottomAll(buf[:moved-1])
+		} else {
+			p.segs[t].dq.AddForeignAll(buf[:moved-1])
+		}
 	}
 	clear(buf) // release element references for GC; the buffer itself is kept
 	h.stealBuf = buf[:0]

@@ -149,10 +149,13 @@ var ErrBadOptions = errors.New("core: invalid options")
 // pad keeps hot per-segment state on separate cache lines.
 type pad [64]byte
 
+// seg is one segment: an OwnerDeque whose lock-free bottom belongs to the
+// segment's handle and whose steal lock serializes thieves. The deque
+// pads its own header (owner line / thief line / lock tail) and tiles to
+// a cache-line multiple, so adjacent segments in the slice never share a
+// line — see segment.TestOwnerDequeLayout.
 type seg[T any] struct {
-	mu sync.Mutex
-	dq segment.Deque[T]
-	_  pad
+	dq segment.OwnerDeque[T]
 }
 
 type treeNode struct {
@@ -174,7 +177,7 @@ type Pool[T any] struct {
 	leaves    int
 	handles   []*Handle[T]
 	members   *engine.Membership // dynamic membership: alive/victim bits + the coverage epoch
-	epoch     time.Time          // flight-recorder time zero (tracing only)
+	base      time.Time          // monotonic time zero for op timing and the flight recorder
 
 	lookers atomic.Int32  // registered handles currently inside a search
 	open    atomic.Int32  // handles registered and not yet closed
@@ -231,6 +234,7 @@ func New[T any](opts Options) (*Pool[T], error) {
 		segs:    make([]seg[T], opts.Segments),
 		leaves:  search.NumLeavesFor(opts.Segments),
 		members: engine.NewMembership(opts.Segments),
+		base:    time.Now(),
 	}
 	if opts.Search == search.Tree || policy.KindOf(pol.Order) == search.Tree {
 		p.nodes = make([]treeNode, 2*p.leaves)
@@ -247,9 +251,6 @@ func New[T any](opts Options) (*Pool[T], error) {
 			// hop distances to rank by.
 			p.giftOrder = giftOrders(opts.Segments, topo)
 		}
-	}
-	if opts.TraceBuf > 0 {
-		p.epoch = time.Now()
 	}
 	p.handles = make([]*Handle[T], opts.Segments)
 	for i := range p.handles {
@@ -280,8 +281,10 @@ func New[T any](opts Options) (*Pool[T], error) {
 }
 
 // traceClock is the flight recorder's wall clock: microseconds since
-// pool creation, shared by every handle so their tracks align.
-func (p *Pool[T]) traceClock() int64 { return time.Since(p.epoch).Microseconds() }
+// pool creation, shared by every handle so their tracks align. It reads
+// the monotonic clock only (p.base carries a monotonic reading), the
+// same time zero the op-latency stats use.
+func (p *Pool[T]) traceClock() int64 { return time.Since(p.base).Microseconds() }
 
 // Tracer returns segment i's flight recorder, nil unless the pool was
 // built with Options.TraceBuf > 0. Safe to call (and dump) while the
@@ -312,11 +315,7 @@ func (h *Handle[T]) sizeProbe() func(s int) int {
 		p := h.pool
 		p.opts.Delay.Delay(numa.AccessProbe, h.id, s)
 		h.eng.NoteProbe(s)
-		seg := &p.segs[s]
-		seg.mu.Lock()
-		l := seg.dq.Len()
-		seg.mu.Unlock()
-		return l
+		return p.segs[s].dq.Len()
 	}
 }
 
@@ -343,15 +342,13 @@ func (p *Pool[T]) Handle(i int) *Handle[T] {
 }
 
 // Len returns the current total number of elements, including undelivered
-// directed-add gifts. It locks each segment in turn, so the result is a
-// consistent-per-segment snapshot, not a linearizable global count.
+// directed-add gifts. Each segment is read with lock-free per-segment
+// snapshots, so the result is consistent per segment, not a linearizable
+// global count.
 func (p *Pool[T]) Len() int {
 	total := 0
 	for i := range p.segs {
-		s := &p.segs[i]
-		s.mu.Lock()
-		total += s.dq.Len()
-		s.mu.Unlock()
+		total += p.segs[i].dq.Len()
 	}
 	for i := range p.boxes {
 		total += int(p.boxes[i].banked.Load())
@@ -362,22 +359,18 @@ func (p *Pool[T]) Len() int {
 // SegmentLen returns the current size of segment i, for observability and
 // the segment-trace experiments.
 func (p *Pool[T]) SegmentLen(i int) int {
-	s := &p.segs[i]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dq.Len()
+	return p.segs[i].dq.Len()
 }
 
 // SeedEvenly distributes items round-robin across segments, bypassing
 // per-operation accounting. It is intended for initializing experiments
 // ("a pool initialized with only 320 elements") and must not race with
-// concurrent operations.
+// concurrent operations. Seeds arrive through each segment's foreign
+// overflow (the seeder owns no segment); the owner migrates them into
+// its ring on first contact.
 func (p *Pool[T]) SeedEvenly(items []T) {
 	for i, v := range items {
-		s := &p.segs[i%len(p.segs)]
-		s.mu.Lock()
-		s.dq.Add(v)
-		s.mu.Unlock()
+		p.segs[i%len(p.segs)].dq.AddForeign(v)
 	}
 	p.version.Add(1)
 }
@@ -387,10 +380,7 @@ func (p *Pool[T]) SeedEvenly(items []T) {
 func (p *Pool[T]) Drain() []T {
 	var out []T
 	for i := range p.segs {
-		s := &p.segs[i]
-		s.mu.Lock()
-		out = append(out, s.dq.Drain()...)
-		s.mu.Unlock()
+		out = p.segs[i].dq.StealAll(out)
 	}
 	for i := range p.boxes {
 		if g, ok := p.boxes[i].tryTake(); ok {
@@ -449,10 +439,7 @@ func (p *Pool[T]) Kill(i int, drain bool) bool {
 // certify emptiness.
 func (p *Pool[T]) redistribute(i int) {
 	p.moving.Add(1)
-	s := &p.segs[i]
-	s.mu.Lock()
-	items := s.dq.Drain()
-	s.mu.Unlock()
+	items := p.segs[i].dq.StealAll(nil)
 	if p.boxes != nil {
 		if g, ok := p.boxes[i].tryTake(); ok {
 			items = append(items, g.elements()...)
@@ -474,10 +461,9 @@ func (p *Pool[T]) redistribute(i int) {
 		if k+take > len(items) {
 			take = len(items) - k
 		}
-		dst := &p.segs[t]
-		dst.mu.Lock()
-		dst.dq.AddAll(items[k : k+take])
-		dst.mu.Unlock()
+		// The redistributor is not the destination's owner, so the
+		// relocated elements go through its foreign overflow.
+		p.segs[t].dq.AddForeignAll(items[k : k+take])
 		k += take
 		placed++
 	}

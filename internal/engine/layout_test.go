@@ -1,0 +1,23 @@
+package engine
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestMembershipLayout pins the false-sharing contract of the shared
+// membership word: the epoch (loaded on every abort check), the live
+// count (written on every transition), and each segment's state bits
+// must all occupy distinct cache lines.
+func TestMembershipLayout(t *testing.T) {
+	var m Membership
+	if gap := unsafe.Offsetof(m.live) - unsafe.Offsetof(m.epoch); gap < 64 {
+		t.Errorf("live only %d bytes after epoch; want >= 64 (separate cache line)", gap)
+	}
+	if gap := unsafe.Offsetof(m.state) - unsafe.Offsetof(m.live); gap < 64 {
+		t.Errorf("state header only %d bytes after live; want >= 64", gap)
+	}
+	if sz := unsafe.Sizeof(memberWord{}); sz%64 != 0 {
+		t.Errorf("memberWord size %d is not a multiple of 64", sz)
+	}
+}

@@ -39,21 +39,37 @@ const (
 	memberAlive uint32 = 1 << 1
 )
 
+// memberWord is one segment's membership bits, padded out to a cache
+// line: every abort check loads the searcher's snapshot epoch and every
+// probe loop reads victim bits, so a Leave/Join CAS on one segment must
+// not invalidate the line its neighbors' read-mostly bits live on.
+type memberWord struct {
+	w atomic.Uint32
+	_ [60]byte
+}
+
 // Membership tracks which segments of a pool are alive and which are
 // still probed by searches, stamped by an epoch counter that invalidates
 // in-flight coverage certificates on every transition. All methods are
 // safe for concurrent use; reads are single atomic loads.
+//
+// The hot fields are line-isolated (the false-sharing audit): epoch is
+// loaded on every abort check by every searcher, live is written by
+// every Leave/Join, and each segment's state word gets its own line via
+// memberWord. Verified by TestMembershipLayout.
 type Membership struct {
 	epoch atomic.Uint64
+	_     [56]byte
 	live  atomic.Int32
-	state []atomic.Uint32
+	_     [60]byte
+	state []memberWord
 }
 
 // NewMembership returns a membership over n segments, all alive victims.
 func NewMembership(n int) *Membership {
-	m := &Membership{state: make([]atomic.Uint32, n)}
+	m := &Membership{state: make([]memberWord, n)}
 	for i := range m.state {
-		m.state[i].Store(memberAlive | memberVictim)
+		m.state[i].w.Store(memberAlive | memberVictim)
 	}
 	m.live.Store(int32(n))
 	return m
@@ -67,12 +83,12 @@ func (m *Membership) Segments() int { return len(m.state) }
 func (m *Membership) Epoch() uint64 { return m.epoch.Load() }
 
 // Alive reports whether segment s's handle is operating.
-func (m *Membership) Alive(s int) bool { return m.state[s].Load()&memberAlive != 0 }
+func (m *Membership) Alive(s int) bool { return m.state[s].w.Load()&memberAlive != 0 }
 
 // Victim reports whether searches still probe segment s. A departed
 // drain-mode segment is not a victim — and the deposit redirects keep it
 // empty, so skipping it costs a search nothing.
-func (m *Membership) Victim(s int) bool { return m.state[s].Load()&memberVictim != 0 }
+func (m *Membership) Victim(s int) bool { return m.state[s].w.Load()&memberVictim != 0 }
 
 // Live returns the number of alive segments.
 func (m *Membership) Live() int { return int(m.live.Load()) }
@@ -93,12 +109,12 @@ func (m *Membership) Leave(s int, keepVictim bool) bool {
 		next = memberVictim
 	}
 	for {
-		cur := m.state[s].Load()
+		cur := m.state[s].w.Load()
 		if cur&memberAlive == 0 {
 			m.live.Add(1) // already departed: undo the reservation
 			return false
 		}
-		if m.state[s].CompareAndSwap(cur, next) {
+		if m.state[s].w.CompareAndSwap(cur, next) {
 			break
 		}
 	}
@@ -112,11 +128,11 @@ func (m *Membership) Leave(s int, keepVictim bool) bool {
 // been bumped.
 func (m *Membership) Join(s int) bool {
 	for {
-		cur := m.state[s].Load()
+		cur := m.state[s].w.Load()
 		if cur&memberAlive != 0 {
 			return false
 		}
-		if m.state[s].CompareAndSwap(cur, memberAlive|memberVictim) {
+		if m.state[s].w.CompareAndSwap(cur, memberAlive|memberVictim) {
 			break
 		}
 	}
@@ -139,7 +155,7 @@ func (m *Membership) FallbackVictim(from int) int {
 	n := len(m.state)
 	for off := 0; off < n; off++ {
 		s := (from + off) % n
-		if m.state[s].Load()&memberVictim != 0 {
+		if m.state[s].w.Load()&memberVictim != 0 {
 			return s
 		}
 	}

@@ -112,7 +112,7 @@ func TestMembershipFallbackVictim(t *testing.T) {
 	// All victims gone is representable even though all alive is not:
 	// steal-only members keep the victim bit, so strip it by hand.
 	one := NewMembership(1)
-	one.state[0].Store(memberAlive)
+	one.state[0].w.Store(memberAlive)
 	if got := one.FallbackVictim(0); got != -1 {
 		t.Fatalf("FallbackVictim with no victims = %d, want -1", got)
 	}

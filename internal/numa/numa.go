@@ -185,8 +185,10 @@ type Delayer struct {
 
 // Delay busy-waits for the scaled cost of the access. Busy-waiting (rather
 // than sleeping) mirrors a processor stalled on a remote reference: the
-// paper's delays model latency the processor cannot overlap.
-func (d Delayer) Delay(kind Kind, proc, home int) {
+// paper's delays model latency the processor cannot overlap. The pointer
+// receiver keeps the no-op call on the disabled hot path from copying the
+// whole struct (CostModel embeds an interface and five words).
+func (d *Delayer) Delay(kind Kind, proc, home int) {
 	if d.Scale == 0 {
 		return
 	}

@@ -41,15 +41,26 @@ const (
 //
 // An Adaptive must not be shared between independent runs: construct a
 // fresh one per trial (policy.Named does).
+//
+// The layout is the per-handle controller half of the false-sharing
+// audit: the read-mostly control outputs (frac, consulted on every steal
+// sizing; shift, on every batch recommendation) sit a cache line away
+// from the write-hot window counters that every Observe hammers, and the
+// struct tiles to a cache-line multiple so per-handle instances
+// (policy.PerHandle allocates one per handle, in a size class that would
+// otherwise pack two to a line) never share a line. Verified by
+// TestAdaptiveLayout.
 type Adaptive struct {
 	frac  atomic.Int64 // steal fraction, fixed-point (fracUnit = 1.0)
 	shift atomic.Int64 // batch multiplier exponent, 0..maxShift
+	_     [48]byte
 
 	// Current-window counters, swapped out at each boundary.
 	ops      atomic.Int64
 	steals   atomic.Int64
 	aborts   atomic.Int64
 	examined atomic.Int64
+	_        [32]byte
 }
 
 var (

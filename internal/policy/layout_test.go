@@ -1,0 +1,24 @@
+package policy
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestAdaptiveLayout pins the false-sharing contract of the Adaptive
+// controller: the read-mostly control outputs (frac, shift) must sit on
+// a different cache line from the write-hot window counters, and the
+// struct must tile to a whole number of 64-byte lines so separately
+// allocated per-handle instances never share one.
+func TestAdaptiveLayout(t *testing.T) {
+	var a Adaptive
+	if gap := unsafe.Offsetof(a.ops) - unsafe.Offsetof(a.frac); gap < 64 {
+		t.Errorf("ops only %d bytes after frac; want >= 64 (separate cache line)", gap)
+	}
+	if sz := unsafe.Sizeof(a); sz%64 != 0 {
+		t.Errorf("Adaptive size %d is not a multiple of 64", sz)
+	}
+	if tail := unsafe.Sizeof(a) - unsafe.Offsetof(a.examined); tail < 40 {
+		t.Errorf("only %d bytes from examined to end; counters bleed into the next object", tail)
+	}
+}

@@ -10,21 +10,30 @@ import (
 // conservation and agreement with the Counter segment at every step. The
 // opcode space includes the policy-driven steal paths: a RemoveN/TakeInto
 // whose k is chosen by the proportional and adaptive StealAmount policies,
-// exactly as the pools' steal slow paths size their transfers.
+// exactly as the pools' steal slow paths size their transfers. Opcodes
+// 8-11 drive the lock-free OwnerDeque through the same universe of
+// values — owner push/pop, foreign adds, and StealInto batches — so the
+// fuzzer interleaves the ring, the overflow migration, and the claim
+// protocol's single-threaded boundary cases against a counter model.
 func FuzzDequeScript(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 2, 0, 3, 1, 1})
 	f.Add([]byte{2, 2, 2})
 	f.Add([]byte{4, 4, 5, 4, 5, 5})
 	f.Add([]byte{0, 0, 0, 6, 0, 7, 6, 7})
 	f.Add([]byte{4, 6, 6, 6, 1, 7, 7, 7})
+	f.Add([]byte{8, 8, 8, 9, 11, 9, 9, 10})
+	f.Add([]byte{11, 11, 9, 8, 10, 9, 22, 21})
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, script []byte) {
 		var d, dDst Deque[int]
 		var c, cDst Counter
+		var o OwnerDeque[int]
+		var oc Counter
+		var oStolen []int
 		adaptive := policy.NewAdaptive()
 		next := 0
 		for _, op := range script {
-			switch op % 8 {
+			switch op % 12 {
 			case 0:
 				d.Add(next)
 				c.Add(1)
@@ -106,17 +115,62 @@ func FuzzDequeScript(f *testing.F) {
 				if d.TakeInto(&dDst, k) != c.TakeInto(&cDst, k) {
 					t.Fatal("adaptive steal disagreement")
 				}
+			case 8:
+				// Owner push onto the lock-free bottom.
+				o.PushBottom(next)
+				oc.Add(1)
+				next++
+			case 9:
+				// Owner pop; falls back to the foreign overflow when the
+				// ring is dry, which exercises the migration path.
+				v, ook := o.PopBottom()
+				if ook != oc.Remove() {
+					t.Fatal("PopBottom disagreement")
+				}
+				if ook {
+					oStolen = append(oStolen, v)
+				}
+			case 10:
+				// Thief batch through the claim protocol; k from the
+				// script, sized against the reported n.
+				want := int(op)/12 + 1
+				before := len(oStolen)
+				oStolen = o.StealInto(oStolen, func(n int) int {
+					if n <= 0 {
+						t.Fatalf("take consulted with n=%d", n)
+					}
+					k := policy.Proportional{}.Amount(n, want)
+					if k < 1 || k > n {
+						t.Fatalf("proportional Amount(%d, %d) = %d out of range", n, want, k)
+					}
+					return k
+				})
+				if oc.RemoveN(len(oStolen)-before) != len(oStolen)-before {
+					t.Fatal("StealInto removed more than the model held")
+				}
+			case 11:
+				// Foreign add into the overflow.
+				o.AddForeign(next)
+				oc.Add(1)
+				next++
 			}
 			if d.Len() != c.Len() || dDst.Len() != cDst.Len() {
 				t.Fatalf("size divergence: %d/%d %d/%d", d.Len(), c.Len(), dDst.Len(), cDst.Len())
 			}
-			if d.Len()+dDst.Len() > next {
-				t.Fatalf("more elements than added: %d > %d", d.Len()+dDst.Len(), next)
+			if o.Len() != oc.Len() {
+				t.Fatalf("owner-deque size divergence: %d/%d", o.Len(), oc.Len())
+			}
+			if d.Len()+dDst.Len()+o.Len()+len(oStolen) > next {
+				t.Fatalf("more elements than added: %d > %d",
+					d.Len()+dDst.Len()+o.Len()+len(oStolen), next)
 			}
 		}
 		// Drain everything; each element must appear exactly once.
 		seen := map[int]bool{}
-		for _, v := range append(d.Drain(), dDst.Drain()...) {
+		drained := append(d.Drain(), dDst.Drain()...)
+		drained = append(drained, o.StealAll(nil)...)
+		drained = append(drained, oStolen...)
+		for _, v := range drained {
 			if v < 0 || v >= next || seen[v] {
 				t.Fatalf("element %d duplicated or unknown", v)
 			}

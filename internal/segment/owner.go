@@ -1,0 +1,403 @@
+package segment
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// OwnerDeque is a concurrent segment with a lock-free owner path, the
+// CAS-era successor to the mutex-guarded Deque the paper's protocol was
+// built on. One designated goroutine — the segment's owner — pushes and
+// pops at the bottom of a power-of-two ring with plain slot stores
+// published by sequentially-consistent index stores and no lock; thieves
+// serialize on the segment lock and claim elements at the top one
+// compare-style claim at a time, falling back to nothing: the lock IS the
+// steal path, exactly the lock + TakeOut reserve-transfer discipline the
+// pools already use, now paid only by thieves. Non-owner adds (Director
+// placements, kill-time redistribution, seeding) land in a lock-guarded
+// overflow Deque that the owner migrates into its ring when the ring runs
+// dry, so a foreign add never touches the owner's bottom index.
+//
+// # Memory-ordering argument
+//
+// Elements live at ring indices [top, bottom); slot i is buf[i&(cap-1)].
+// bottom is written only by the owner; top is written by thieves under
+// mu and by the owner's lock-free last-element CAS. All index accesses
+// go through sync/atomic, which Go guarantees sequentially consistent,
+// so both sides can run the classic claim-then-validate handshake:
+//
+//   - a thief (holding mu) claims slot t with CompareAndSwap(top, t,
+//     t+1), then validates bottom >= t+1. If validation fails the owner
+//     has claimed the same last element; the thief rolls its claim back
+//     and stops.
+//   - the owner claims slot b-1 by storing bottom = b-1, then validates
+//     top < b-1. On top == b-1 exactly (one element left) it tries
+//     CompareAndSwap(top, b-1, b) itself — claims are CASes on both
+//     sides, so exactly one party wins the final slot — provided no
+//     steal claim section is in flight (the stealing flag below). Any
+//     other boundary goes through mu, by which time the thief has
+//     committed or rolled back, and re-checks — so the last element
+//     goes to exactly one side and a rolled-back claim strands nothing.
+//
+// Because both sides publish their claim before validating, at least one
+// observes the other (SC total order) on the contended last element.
+//
+// Plain slot accesses are race-free by two rules. First, thieves read a
+// slot only after a validated claim, and the slot's value was published
+// by the owner's SC bottom store, which the thief's bottom load acquired.
+// Second, the owner reuses a slot (ring wraparound) only after every
+// foreign access to it is happens-before-ordered: lock-free pushes
+// require occupancy to stay at or below cap-2 against the observed top
+// (one free slot of margin). A top value stored by a mu critical section
+// orders every EARLIER section's slot accesses before the owner (the
+// mutex chains the sections, the SC load of top chains the last of them
+// to the owner) but not the storing section's own, later slot work —
+// that is what the margin slot absorbs. A top value stored by the
+// owner's own CAS is stronger, not weaker: the CAS fires only after the
+// owner observed the stealing flag clear, whose clearing store (chained
+// through mu) orders every completed section's slot work, and a section
+// racing the flag load can only claim at or above the contested slot,
+// where it either loses the CAS or takes nothing. A thief's claim can
+// inflate the observed top by at most one (claims resolve one at a time
+// under mu before the next), which the margin also absorbs: worst-case
+// occupancy reaches cap with every slot distinct, and the next push
+// re-checks and grows under mu.
+//
+// Only the owner grows the ring, under mu, so thieves (who read buf under
+// mu) and the owner (the only other toucher) both see a stable buffer.
+//
+// The zero value is an empty, usable deque.
+type OwnerDeque[T any] struct {
+	// Owner-hot line: the bottom index and the ring header, both written
+	// by the owner alone (the header only under mu, but read lock-free).
+	bottom atomic.Int64
+	buf    []T
+	_      [32]byte
+	// Thief-written line: top and the steal-section flag move only while
+	// mu is held (except the owner's last-element CAS on top) but are
+	// loaded lock-free by the owner on every push and pop, so they get a
+	// cache line away from both the owner's bottom and the lock.
+	top      atomic.Int64
+	stealing atomic.Int32 // inside a StealInto claim section (set under mu)
+	_        [52]byte
+	// Shared tail: the steal lock, the foreign-add overflow it guards,
+	// and the overflow's lock-free size mirror. The trailing pad keeps a
+	// neighboring OwnerDeque's bottom off this line (segments are stored
+	// in one slice), verified by TestOwnerDequeLayout.
+	mu      sync.Mutex
+	foreign Deque[T]
+	fcount  atomic.Int64
+	_       [72]byte
+}
+
+// ownerMinCap is the smallest ring allocated; must be a power of two.
+const ownerMinCap = 8
+
+// Len returns the segment's current size: ring span plus foreign
+// overflow. It takes no lock, so under concurrency it is a momentary
+// (and, mid-claim, at-most-one-off) snapshot — exact whenever the
+// segment is quiescent, which is all the deterministic drivers need.
+func (d *OwnerDeque[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n) + int(d.fcount.Load())
+}
+
+// lenLocked is Len with mu held: the ring span is still racing the
+// owner, but the foreign count is exact.
+func (d *OwnerDeque[T]) lenLocked() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n) + d.foreign.Len()
+}
+
+// grow ensures ring capacity for the current span plus extra plus the
+// one-slot margin the push-path memory-ordering argument needs. Owner
+// only, mu held (thieves excluded, so the copy and the buffer swap are
+// safe against their slot reads).
+func (d *OwnerDeque[T]) grow(extra int) {
+	b, t := d.bottom.Load(), d.top.Load()
+	n := int(b - t)
+	if n < 0 {
+		n = 0
+	}
+	need := n + extra + 1
+	newCap := len(d.buf)
+	if newCap < ownerMinCap {
+		newCap = ownerMinCap
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	if newCap == len(d.buf) {
+		return
+	}
+	nb := make([]T, newCap)
+	oldMask := int64(len(d.buf) - 1)
+	newMask := int64(newCap - 1)
+	for i := int64(0); i < int64(n); i++ {
+		nb[(t+i)&newMask] = d.buf[(t+i)&oldMask]
+	}
+	d.buf = nb
+}
+
+// PushBottom adds an element at the owner end. Owner only. The common
+// case is two atomic loads, a slot store, and one SC index store; the
+// lock is taken only to grow the ring.
+func (d *OwnerDeque[T]) PushBottom(v T) {
+	b := d.bottom.Load()
+	if t := d.top.Load(); len(d.buf) == 0 || b-t >= int64(len(d.buf)-1) {
+		d.mu.Lock()
+		d.grow(1)
+		d.mu.Unlock()
+	}
+	d.buf[b&int64(len(d.buf)-1)] = v
+	d.bottom.Store(b + 1)
+}
+
+// PushBottomAll adds every element of vs at the owner end under a single
+// capacity check and a single index publication. Owner only. The slice
+// is not retained.
+func (d *OwnerDeque[T]) PushBottomAll(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	b := d.bottom.Load()
+	if t := d.top.Load(); len(d.buf) == 0 || b-t+int64(len(vs)) > int64(len(d.buf)-1) {
+		d.mu.Lock()
+		d.grow(len(vs))
+		d.mu.Unlock()
+	}
+	mask := int64(len(d.buf) - 1)
+	for i, v := range vs {
+		d.buf[(b+int64(i))&mask] = v
+	}
+	d.bottom.Store(b + int64(len(vs)))
+}
+
+// PopBottom removes the most recently pushed element (LIFO, preserving
+// task locality exactly like Deque.Remove). Owner only. The common case
+// is lock-free: claim the last slot with an SC bottom store, validate
+// against top. The boundary — one element left, or a thief's claim in
+// flight — resolves under mu, where the thief has already committed or
+// rolled back. A dry ring falls back to the foreign overflow, migrating
+// it into the ring so subsequent pops are lock-free again.
+func (d *OwnerDeque[T]) PopBottom() (T, bool) {
+	var zero T
+	b0 := d.bottom.Load()
+	if t0 := d.top.Load(); b0-t0 <= 0 {
+		return d.popForeign()
+	}
+	b := b0 - 1
+	d.bottom.Store(b) // claim; SC, so the top load below cannot float above it
+	mask := int64(len(d.buf) - 1)
+	t := d.top.Load()
+	if t < b {
+		v := d.buf[b&mask]
+		d.buf[b&mask] = zero
+		return v, true
+	}
+	if t == b && d.stealing.Load() == 0 && d.top.CompareAndSwap(t, t+1) {
+		// Last element, and the CAS beat any thief to it: claims are
+		// CASes on both sides, so exactly one party can move top past
+		// the final slot. The stealing check first is load-bearing for
+		// the push path's slot-reuse argument: a thief's claim-CAS
+		// publishes its new top BEFORE the thief touches the slot, so
+		// acquiring top alone does not order that thief's in-flight
+		// slot reads/zeroes — but acquiring the flag at zero orders
+		// every completed steal section (the last section's clearing
+		// store, chained through mu to all earlier ones), and a section
+		// starting after the load can only claim at or above t, where
+		// it loses this CAS or takes nothing. So on success every
+		// foreign slot access below t+1 happens-before the owner, and
+		// the one-slot push margin stays sufficient. Restore bottom to
+		// the canonical empty state (top == bottom == b+1) and take the
+		// element without the lock — this is the steady-state pop of a
+		// pool hovering near size one, the serial hot path.
+		v := d.buf[b&mask]
+		d.buf[b&mask] = zero
+		d.bottom.Store(b + 1)
+		return v, true
+	}
+	// Boundary lost or ambiguous: a thief's claim is in flight (its
+	// commit or rollback resolves inside mu), or the ring emptied
+	// between the size check and the claim.
+	d.mu.Lock()
+	if t := d.top.Load(); t <= b {
+		v := d.buf[b&mask]
+		d.buf[b&mask] = zero
+		d.mu.Unlock()
+		return v, true
+	}
+	d.bottom.Store(b + 1) // the element went to a thief: undo the claim
+	d.mu.Unlock()
+	return d.popForeign()
+}
+
+// popForeign migrates the foreign overflow into the ring (owner only,
+// under mu, head-first so pop order matches popping the overflow
+// directly) and returns its most recent element. Allocation-free once
+// the ring has capacity.
+func (d *OwnerDeque[T]) popForeign() (T, bool) {
+	var zero T
+	if d.fcount.Load() == 0 {
+		return zero, false
+	}
+	d.mu.Lock()
+	n := d.foreign.Len()
+	if n == 0 {
+		d.mu.Unlock()
+		return zero, false
+	}
+	d.grow(n)
+	b := d.bottom.Load()
+	mask := int64(len(d.buf) - 1)
+	for i := int64(n) - 1; i >= 0; i-- {
+		v, _ := d.foreign.Remove() // tail-first out of the overflow...
+		d.buf[(b+i)&mask] = v      // ...so slot order is head-first
+	}
+	d.fcount.Store(0)
+	// Take the migrated tail directly; thieves are excluded by mu, so
+	// publishing the shrunken span is a plain pair of index stores.
+	v := d.buf[(b+int64(n)-1)&mask]
+	d.buf[(b+int64(n)-1)&mask] = zero
+	d.bottom.Store(b + int64(n) - 1)
+	d.mu.Unlock()
+	return v, true
+}
+
+// PopBottomN removes up to k of the most recently pushed elements
+// (foreign overflow included, after the ring). Owner only. Returns nil
+// when k <= 0 or the segment is empty.
+func (d *OwnerDeque[T]) PopBottomN(k int) []T {
+	if k <= 0 {
+		return nil
+	}
+	if n := d.Len(); k > n {
+		k = n
+	}
+	if k == 0 {
+		return nil
+	}
+	out := make([]T, 0, k)
+	for len(out) < k {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// AddForeign adds an element from a goroutine that does not own the
+// segment: Director placements, kill-time redistribution, seeding. It
+// lands in the lock-guarded overflow; the owner's bottom is untouched.
+func (d *OwnerDeque[T]) AddForeign(v T) {
+	d.mu.Lock()
+	d.foreign.Add(v)
+	d.fcount.Add(1)
+	d.mu.Unlock()
+}
+
+// AddForeignAll adds every element of vs through the foreign overflow.
+// The slice is not retained.
+func (d *OwnerDeque[T]) AddForeignAll(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.foreign.AddAll(vs)
+	d.fcount.Add(int64(len(vs)))
+	d.mu.Unlock()
+}
+
+// AddForeignIfUnder adds v through the overflow only while the segment's
+// size is below limit, reporting whether it was placed — the capacity-
+// respecting remote add behind TryPut's ring walk.
+func (d *OwnerDeque[T]) AddForeignIfUnder(v T, limit int) bool {
+	d.mu.Lock()
+	if d.lenLocked() >= limit {
+		d.mu.Unlock()
+		return false
+	}
+	d.foreign.Add(v)
+	d.fcount.Add(1)
+	d.mu.Unlock()
+	return true
+}
+
+// StealInto is the thief's batch reserve-transfer: under the segment
+// lock it sizes the victim once (n > 0 guaranteed when take is called),
+// asks take for the transfer amount, then pulls that many elements —
+// foreign overflow first (head-first, the coldest), then top-of-ring
+// claims one validated claim at a time — appending them to buf and
+// returning the extended slice. A claim the owner wins ends the batch
+// short; the caller gets what was actually reserved. take must not call
+// back into the deque (the lock is held). Passing a buffer with spare
+// capacity makes StealInto allocation-free.
+func (d *OwnerDeque[T]) StealInto(buf []T, take func(n int) int) []T {
+	d.mu.Lock()
+	n := d.lenLocked()
+	if n == 0 {
+		d.mu.Unlock()
+		return buf
+	}
+	// Mark the claim section open for the owner's last-element CAS fast
+	// path; cleared (with release ordering on this section's slot
+	// writes) before the unlock.
+	d.stealing.Store(1)
+	defer func() {
+		d.stealing.Store(0)
+		d.mu.Unlock()
+	}()
+	k := take(n)
+	if k > n {
+		k = n
+	}
+	if fl := d.foreign.Len(); k > 0 && fl > 0 {
+		fk := k
+		if fk > fl {
+			fk = fl
+		}
+		buf = d.foreign.TakeOut(buf, fk)
+		d.fcount.Add(int64(-fk))
+		k -= fk
+	}
+	var zero T
+	mask := int64(len(d.buf) - 1)
+	for k > 0 {
+		t := d.top.Load()
+		if d.bottom.Load()-t <= 0 {
+			break
+		}
+		// Claim slot t. The CAS (not a plain store) can lose only to the
+		// owner's lock-free last-element CAS; on failure re-evaluate —
+		// the reloaded span goes non-positive and the batch ends.
+		if !d.top.CompareAndSwap(t, t+1) {
+			continue
+		}
+		if d.bottom.Load() < t+1 {
+			d.top.Store(t) // the owner claimed the same last element: roll back
+			break
+		}
+		buf = append(buf, d.buf[t&mask])
+		d.buf[t&mask] = zero
+		k--
+	}
+	return buf
+}
+
+// StealAll drains the whole segment through the steal path, appending to
+// buf. Any goroutine may call it; elements the owner pops concurrently
+// are the owner's, exactly as with a racing Get.
+func (d *OwnerDeque[T]) StealAll(buf []T) []T {
+	return d.StealInto(buf, func(n int) int { return n })
+}

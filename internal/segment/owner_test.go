@@ -1,0 +1,391 @@
+package segment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestOwnerDequeZeroValueUsable(t *testing.T) {
+	var d OwnerDeque[int]
+	if d.Len() != 0 {
+		t.Fatal("zero value should be empty")
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty returned ok")
+	}
+	d.PushBottom(42)
+	v, ok := d.PopBottom()
+	if !ok || v != 42 {
+		t.Fatalf("got (%v,%v), want (42,true)", v, ok)
+	}
+}
+
+func TestOwnerDequeLIFO(t *testing.T) {
+	var d OwnerDeque[int]
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.PushBottom(i)
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v != i {
+			t.Fatalf("PopBottom = (%v,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatal("should be empty")
+	}
+}
+
+// Wraparound: interleaved push/pop cycles the ring through many times its
+// capacity without growing, and values survive each lap.
+func TestOwnerDequeWraparound(t *testing.T) {
+	var d OwnerDeque[int]
+	next := 0
+	for lap := 0; lap < 200; lap++ {
+		for i := 0; i < 5; i++ {
+			d.PushBottom(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			v, ok := d.PopBottom()
+			if !ok || v != next-1-i {
+				t.Fatalf("lap %d: got (%v,%v), want (%d,true)", lap, v, ok, next-1-i)
+			}
+		}
+	}
+	if got := len(d.buf); got != ownerMinCap {
+		t.Fatalf("ring grew to %d during steady-state cycling", got)
+	}
+}
+
+func TestOwnerDequePushBottomAll(t *testing.T) {
+	var d OwnerDeque[int]
+	batch := make([]int, 100)
+	for i := range batch {
+		batch[i] = i
+	}
+	d.PushBottomAll(nil)
+	d.PushBottomAll(batch)
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	for i := 99; i >= 0; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v != i {
+			t.Fatalf("got (%v,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+// Foreign adds are invisible to the owner's LIFO ring until it runs dry;
+// then they come out newest-first, exactly as if the owner had popped the
+// overflow directly.
+func TestOwnerDequeForeignOrder(t *testing.T) {
+	var d OwnerDeque[int]
+	d.PushBottom(1)
+	d.PushBottom(2)
+	d.AddForeign(10)
+	d.AddForeignAll([]int{11, 12})
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	want := []int{2, 1, 12, 11, 10}
+	for _, w := range want {
+		v, ok := d.PopBottom()
+		if !ok || v != w {
+			t.Fatalf("got (%v,%v), want (%d,true)", v, ok, w)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("expected empty")
+	}
+}
+
+// After a foreign migration the ring keeps serving lock-free pops, and
+// new owner pushes stack on top of the migrated elements.
+func TestOwnerDequeForeignMigrationInterleaved(t *testing.T) {
+	var d OwnerDeque[int]
+	d.AddForeignAll([]int{10, 11, 12})
+	v, _ := d.PopBottom() // migrates, returns 12
+	if v != 12 {
+		t.Fatalf("got %d, want 12", v)
+	}
+	d.PushBottom(99)
+	want := []int{99, 11, 10}
+	for _, w := range want {
+		v, ok := d.PopBottom()
+		if !ok || v != w {
+			t.Fatalf("got (%v,%v), want (%d,true)", v, ok, w)
+		}
+	}
+}
+
+func TestOwnerDequePopBottomN(t *testing.T) {
+	var d OwnerDeque[int]
+	if got := d.PopBottomN(5); got != nil {
+		t.Fatalf("PopBottomN on empty = %v, want nil", got)
+	}
+	for i := 0; i < 10; i++ {
+		d.PushBottom(i)
+	}
+	d.AddForeign(100)
+	if got := d.PopBottomN(0); got != nil {
+		t.Fatalf("PopBottomN(0) = %v, want nil", got)
+	}
+	got := d.PopBottomN(4)
+	for i, w := range []int{9, 8, 7, 6} {
+		if got[i] != w {
+			t.Fatalf("PopBottomN[%d] = %d, want %d", i, got[i], w)
+		}
+	}
+	// Asking for more than present clamps and reaches into the overflow.
+	got = d.PopBottomN(100)
+	if len(got) != 7 || got[6] != 100 {
+		t.Fatalf("PopBottomN(100) = %v, want 7 elements ending in 100", got)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+}
+
+func TestOwnerDequeAddForeignIfUnder(t *testing.T) {
+	var d OwnerDeque[int]
+	for i := 0; i < 3; i++ {
+		if !d.AddForeignIfUnder(i, 3) {
+			t.Fatalf("add %d rejected below limit", i)
+		}
+	}
+	if d.AddForeignIfUnder(99, 3) {
+		t.Fatal("add accepted at limit")
+	}
+	d.PushBottom(7) // ring content counts toward the limit too
+	if d.AddForeignIfUnder(99, 4) {
+		t.Fatal("add accepted at limit including ring")
+	}
+	if !d.AddForeignIfUnder(99, 5) {
+		t.Fatal("add rejected below limit")
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+}
+
+func TestOwnerDequeStealInto(t *testing.T) {
+	var d OwnerDeque[int]
+	// Empty victim: take must not be consulted.
+	buf := d.StealInto(nil, func(n int) int {
+		t.Fatal("take called on empty victim")
+		return 0
+	})
+	if len(buf) != 0 {
+		t.Fatalf("stole %v from empty", buf)
+	}
+	for i := 0; i < 6; i++ {
+		d.PushBottom(i)
+	}
+	d.AddForeignAll([]int{100, 101})
+	var sawN int
+	buf = d.StealInto(nil, func(n int) int { sawN = n; return 4 })
+	if sawN != 8 {
+		t.Fatalf("take saw n=%d, want 8", sawN)
+	}
+	// Overflow first (coldest, head-first), then the top of the ring.
+	want := []int{100, 101, 0, 1}
+	if len(buf) != len(want) {
+		t.Fatalf("stole %v, want %v", buf, want)
+	}
+	for i, w := range want {
+		if buf[i] != w {
+			t.Fatalf("stole %v, want %v", buf, want)
+		}
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	// take asking for more than n clamps.
+	buf = d.StealAll(buf[:0])
+	if len(buf) != 4 {
+		t.Fatalf("StealAll got %v, want 4 elements", buf)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after drain", d.Len())
+	}
+}
+
+func TestOwnerDequeGrowPreservesOrder(t *testing.T) {
+	var d OwnerDeque[int]
+	// Force wrapped state before a grow: advance top via steals, then
+	// push past capacity so the copy has to unwrap.
+	for i := 0; i < ownerMinCap-1; i++ {
+		d.PushBottom(i)
+	}
+	d.StealInto(nil, func(int) int { return 3 }) // top = 3
+	for i := ownerMinCap - 1; i < 40; i++ {
+		d.PushBottom(i)
+	}
+	for i := 39; i >= 3; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v != i {
+			t.Fatalf("got (%v,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+// TestOwnerDequeStealStress is the conservation / no-double-take check
+// from the issue: one owner hammers its lock-free bottom while thieves
+// batch-steal through StealInto. Every pushed value must be seen exactly
+// once across owner pops, steals, and the final drain.
+func TestOwnerDequeStealStress(t *testing.T) {
+	const (
+		thieves = 4
+		pushes  = 20000
+	)
+	var d OwnerDeque[uint32]
+	seen := make([]atomic.Uint32, pushes+thieves*100)
+	mark := func(t2 *testing.T, v uint32) {
+		if seen[v].Add(1) != 1 {
+			t2.Errorf("value %d taken twice", v)
+		}
+	}
+	var stop atomic.Bool
+	var foreignAdded atomic.Int64
+	var wg sync.WaitGroup
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			buf := make([]uint32, 0, 16)
+			next, end := pushes+id*100, pushes+(id+1)*100
+			for !stop.Load() {
+				buf = d.StealInto(buf[:0], func(n int) int {
+					if n > 8 {
+						return 8
+					}
+					return n
+				})
+				for _, v := range buf {
+					mark(t, v)
+				}
+				// Thieves are also foreign adders: inject tagged values
+				// through the overflow so migration races with steals.
+				if len(buf) > 0 && next < end {
+					d.AddForeign(uint32(next))
+					foreignAdded.Add(1)
+					next++
+				}
+				runtime.Gosched()
+			}
+		}(th)
+	}
+	// Owner: push everything, popping in bursts so the boundary case
+	// (last element contended) is hit constantly.
+	for i := 0; i < pushes; i++ {
+		d.PushBottom(uint32(i))
+		if i%3 == 0 {
+			for j := 0; j < 2; j++ {
+				if v, ok := d.PopBottom(); ok {
+					mark(t, v)
+				}
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		mark(t, v)
+	}
+	stop.Store(true)
+	wg.Wait()
+	for _, v := range d.StealAll(nil) {
+		mark(t, v)
+	}
+	// Conservation: every pushed value came out exactly once. (The marks
+	// already caught double-takes; this catches losses.)
+	for i := 0; i < pushes; i++ {
+		if seen[i].Load() != 1 {
+			t.Fatalf("value %d seen %d times, want 1", i, seen[i].Load())
+		}
+	}
+	var taggedSeen int64
+	for i := pushes; i < len(seen); i++ {
+		taggedSeen += int64(seen[i].Load())
+	}
+	if taggedSeen != foreignAdded.Load() {
+		t.Fatalf("foreign-added values: saw %d, added %d", taggedSeen, foreignAdded.Load())
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", d.Len())
+	}
+}
+
+// TestOwnerDequeOwnerVsSingleThief narrows the race to the interesting
+// boundary: a one-element deque fought over by the owner and one thief.
+// Exactly one side may win each round.
+func TestOwnerDequeOwnerVsSingleThief(t *testing.T) {
+	const rounds = 5000
+	var d OwnerDeque[int]
+	var popped int
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	var stolenN atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rounds; i++ {
+			got := d.StealInto(nil, func(n int) int { return 1 })
+			stolenN.Add(int64(len(got)))
+			runtime.Gosched()
+		}
+	}()
+	close(start)
+	for i := 0; i < rounds; i++ {
+		d.PushBottom(i)
+		if _, ok := d.PopBottom(); ok {
+			popped++
+		}
+	}
+	wg.Wait()
+	stolen := int(stolenN.Load())
+	leftover := len(d.StealAll(nil))
+	if popped+stolen+leftover != rounds {
+		t.Fatalf("conservation: popped=%d + stolen=%d + leftover=%d != rounds=%d",
+			popped, stolen, leftover, rounds)
+	}
+}
+
+// TestOwnerDequeLayout is the false-sharing audit for the deque header:
+// the owner-hot bottom/buf line, the thief-written top, and the shared
+// lock tail must each sit at least a cache line apart, and the struct
+// must tile cleanly so adjacent segments in a slice never share a line
+// between one deque's tail and the next deque's bottom.
+func TestOwnerDequeLayout(t *testing.T) {
+	var d OwnerDeque[int]
+	const line = 64
+	offBottom := unsafe.Offsetof(d.bottom)
+	offTop := unsafe.Offsetof(d.top)
+	offMu := unsafe.Offsetof(d.mu)
+	if offTop-offBottom < line {
+		t.Errorf("top is %d bytes from bottom, want >= %d", offTop-offBottom, line)
+	}
+	if offMu-offTop < line {
+		t.Errorf("mu is %d bytes from top, want >= %d", offMu-offTop, line)
+	}
+	size := unsafe.Sizeof(d)
+	if size%line != 0 {
+		t.Errorf("Sizeof(OwnerDeque) = %d, not a multiple of %d", size, line)
+	}
+	offFcount := unsafe.Offsetof(d.fcount)
+	if size-offFcount < line {
+		t.Errorf("fcount is %d bytes from the struct end, want >= %d (neighbor's bottom)", size-offFcount, line)
+	}
+}

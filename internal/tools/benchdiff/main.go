@@ -47,8 +47,16 @@ func run(args []string, out io.Writer) error {
 	update := fs.Bool("update", false, "rewrite the baseline from the current run instead of comparing")
 	threshold := fs.Float64("threshold", 15, "allowed geomean regression, percent")
 	minNs := fs.Float64("min-ns", 0, "exclude benchmarks whose baseline ns/op is below this from the geomean (at -benchtime=1x a sub-µs benchmark times one iteration — timer noise, not signal); excluded rows are still reported")
+	keepCPU := fs.String("keep-cpu", "", "regexp of benchmark names whose -N GOMAXPROCS suffix is significant (they came from a -cpu scaling run) and must not be stripped; other names still get a common runner-shape suffix stripped")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var keep *regexp.Regexp
+	if *keepCPU != "" {
+		var err error
+		if keep, err = regexp.Compile(*keepCPU); err != nil {
+			return fmt.Errorf("bad -keep-cpu pattern: %w", err)
+		}
 	}
 	in := os.Stdin
 	if fs.NArg() > 1 {
@@ -62,7 +70,7 @@ func run(args []string, out io.Writer) error {
 		defer f.Close()
 		in = f
 	}
-	current, err := parseBench(in)
+	current, err := parseBench(in, keep)
 	if err != nil {
 		return err
 	}
@@ -107,30 +115,58 @@ var gomaxSuffix = regexp.MustCompile(`-(\d+)$`)
 // identical on every line of a run, while sub-benchmark numeric suffixes
 // (batch-512) vary — so it is stripped exactly when every parsed name
 // carries the same trailing -N.
-func stripGomaxprocs(vals map[string][]float64) map[string][]float64 {
+//
+// Names matching keep are per-cpu scaling entries from a -cpu run: their
+// suffix IS the data point (BenchmarkGetHotPath-32 at GOMAXPROCS=32 is a
+// different measurement from -2), so they pass through untouched and do
+// not participate in the common-suffix determination. Without this
+// partition one -cpu sweep in the file would disable stripping for the
+// whole run, and every ordinary baseline entry would miss on runners
+// with a different core count.
+func stripGomaxprocs(vals map[string][]float64, keep *regexp.Regexp) map[string][]float64 {
+	kept := map[string][]float64{}
+	strippable := map[string][]float64{}
+	for name, vs := range vals {
+		if keep != nil && keep.MatchString(name) {
+			kept[name] = vs
+		} else {
+			strippable[name] = vs
+		}
+	}
 	common := ""
-	for name := range vals {
+	for name := range strippable {
 		m := gomaxSuffix.FindStringSubmatch(name)
 		if m == nil {
-			return vals
+			common = ""
+			break
 		}
 		if common == "" {
 			common = m[1]
 		} else if common != m[1] {
-			return vals
+			common = ""
+			break
 		}
 	}
+	if common == "" {
+		return vals
+	}
 	out := make(map[string][]float64, len(vals))
-	for name, vs := range vals {
-		out[strings.TrimSuffix(name, "-"+common)] = append(out[strings.TrimSuffix(name, "-"+common)], vs...)
+	for name, vs := range strippable {
+		short := strings.TrimSuffix(name, "-"+common)
+		out[short] = append(out[short], vs...)
+	}
+	for name, vs := range kept {
+		out[name] = append(out[name], vs...)
 	}
 	return out
 }
 
 // parseBench extracts ns/op per benchmark from `go test -bench` output.
 // Repeated runs of one benchmark (e.g. -count > 1) are reduced to their
-// geometric mean, matching the cross-benchmark reduction.
-func parseBench(r io.Reader) (map[string]float64, error) {
+// geometric mean, matching the cross-benchmark reduction. keep (may be
+// nil) marks per-cpu scaling entries whose GOMAXPROCS suffix survives —
+// see stripGomaxprocs.
+func parseBench(r io.Reader, keep *regexp.Regexp) (map[string]float64, error) {
 	vals := map[string][]float64{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -148,7 +184,7 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	vals = stripGomaxprocs(vals)
+	vals = stripGomaxprocs(vals, keep)
 	out := make(map[string]float64, len(vals))
 	for name, vs := range vals {
 		if len(vs) == 1 {

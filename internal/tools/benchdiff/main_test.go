@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -20,7 +21,7 @@ ok  	pools	3.021s
 `
 
 func TestParseBench(t *testing.T) {
-	got, err := parseBench(strings.NewReader(sampleBench))
+	got, err := parseBench(strings.NewReader(sampleBench), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestParseBenchGomaxprocsOne(t *testing.T) {
 BenchmarkBatchPutGet/batch-512   	  100	      9000 ns/op
 BenchmarkFig2                    	    1	 250000000 ns/op
 `
-	got, err := parseBench(strings.NewReader(in))
+	got, err := parseBench(strings.NewReader(in), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +56,52 @@ BenchmarkFig2                    	    1	 250000000 ns/op
 		if _, ok := got[want]; !ok {
 			t.Errorf("name %q lost its sub-benchmark suffix: %v", want, got)
 		}
+	}
+}
+
+// TestParseBenchKeepCPU covers a file mixing an ordinary run (uniform
+// runner-shape suffix, stripped) with a -cpu scaling sweep (per-cpu
+// suffixes that ARE the measurement, kept): without the keep partition
+// the varied scaling suffixes would disable stripping for the whole
+// file, and every ordinary entry would miss the baseline on a runner
+// with a different core count.
+func TestParseBenchKeepCPU(t *testing.T) {
+	in := `BenchmarkPoolLocalPutGet/linear-4  	 4000000	       311.5 ns/op
+BenchmarkFig2-4                    	       1	 250000000 ns/op
+BenchmarkGetHotPath-2              	 4000000	       300.0 ns/op
+BenchmarkGetHotPath-4              	 4000000	       310.0 ns/op
+BenchmarkGetHotPath-32             	 4000000	       460.0 ns/op
+BenchmarkPoolContended/linear-16   	 1000000	      2100.0 ns/op
+`
+	keep := regexp.MustCompile(`^Benchmark(GetHotPath|PoolContended)(-|/)`)
+	got, err := parseBench(strings.NewReader(in), keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkPoolLocalPutGet/linear", // -4 stripped: runner shape
+		"BenchmarkFig2",
+		"BenchmarkGetHotPath-2", // per-cpu entries stay distinct
+		"BenchmarkGetHotPath-4",
+		"BenchmarkGetHotPath-32",
+		"BenchmarkPoolContended/linear-16",
+	} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("missing %q in parsed set %v", want, got)
+		}
+	}
+	if len(got) != 6 {
+		t.Errorf("parsed %d benchmarks, want 6: %v", len(got), got)
+	}
+
+	// Without -keep-cpu the mixed suffixes disable stripping entirely —
+	// the pre-partition behavior the flag exists to fix.
+	got, err = parseBench(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["BenchmarkPoolLocalPutGet/linear-4"]; !ok {
+		t.Errorf("nil keep: expected stripping disabled by mixed suffixes, got %v", got)
 	}
 }
 
