@@ -266,9 +266,14 @@ func (h *Handle[T]) TryPut(v T) bool {
 		s := &p.segs[idx]
 		placed := false
 		if idx == h.id {
-			// Own segment: the owner is the only bottom-pusher, so the
-			// size check cannot race another add (foreign adds can only
-			// make it stale toward rejection on the next segment).
+			// Own segment: the owner is the only bottom-pusher, but a
+			// foreign add can land between the lock-free size check and
+			// the push, so cap is best-effort here — overshoot is bounded
+			// by the number of concurrently racing foreign adders, and
+			// cap is exact whenever the segment is quiescent. (The remote
+			// branch has the mirror-image race: AddForeignIfUnder's
+			// locked check reads the ring span lock-free against the
+			// owner's in-flight push, with the same bound.)
 			if s.dq.Len() < cap {
 				s.dq.PushBottom(v)
 				placed = true

@@ -95,14 +95,29 @@ const ownerMinCap = 8
 
 // Len returns the segment's current size: ring span plus foreign
 // overflow. It takes no lock, so under concurrency it is a momentary
-// (and, mid-claim, at-most-one-off) snapshot — exact whenever the
-// segment is quiescent, which is all the deterministic drivers need.
+// snapshot: mid-claim it is at most one off, and mid-migration
+// (popForeign moving the overflow into the ring) it can transiently
+// OVERcount — never falsely read empty, so a concurrent searcher's
+// coverage pass cannot certify emptiness while elements exist. Exact
+// whenever the segment is quiescent, which is all the deterministic
+// drivers need.
+//
+// The load order is load-bearing and pairs with popForeign's store
+// order. The migration publishes the enlarged ring span BEFORE clearing
+// fcount; Len loads fcount BEFORE the span. So if this load sees the
+// cleared fcount, the clearing store already happened, hence so did the
+// span store (SC total order), and the later bottom load must observe
+// the migrated span — the elements are counted on at least one side.
+// Loading the span first would leave a torn read (stale dry span + new
+// zero fcount) summing to a false empty across an otherwise-quiescent
+// migration.
 func (d *OwnerDeque[T]) Len() int {
+	f := d.fcount.Load()
 	n := d.bottom.Load() - d.top.Load()
 	if n < 0 {
 		n = 0
 	}
-	return int(n) + int(d.fcount.Load())
+	return int(n) + int(f)
 }
 
 // lenLocked is Len with mu held: the ring span is still racing the
@@ -260,12 +275,21 @@ func (d *OwnerDeque[T]) popForeign() (T, bool) {
 		v, _ := d.foreign.Remove() // tail-first out of the overflow...
 		d.buf[(b+i)&mask] = v      // ...so slot order is head-first
 	}
-	d.fcount.Store(0)
-	// Take the migrated tail directly; thieves are excluded by mu, so
-	// publishing the shrunken span is a plain pair of index stores.
+	// Take the migrated tail directly; thieves are excluded by mu, so the
+	// index stores need no handshake. Publication order matters for the
+	// LOCK-FREE Len readers, though (sizeProbe, a searcher's coverage
+	// pass): the enlarged ring span must land before fcount is cleared,
+	// and Len loads in the REVERSE order (fcount first), so any torn
+	// read lands on the overcounting side — span plus still-nonzero
+	// fcount — never on a false empty. Either half alone is insufficient:
+	// clearing fcount first makes all n migrated elements invisible
+	// between the stores, and a span-first Len can straddle the whole
+	// migration (stale dry span, then cleared fcount). See Len's comment
+	// for the pairing argument.
 	v := d.buf[(b+int64(n)-1)&mask]
 	d.buf[(b+int64(n)-1)&mask] = zero
 	d.bottom.Store(b + int64(n) - 1)
+	d.fcount.Store(0)
 	d.mu.Unlock()
 	return v, true
 }

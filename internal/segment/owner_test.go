@@ -363,6 +363,83 @@ func TestOwnerDequeOwnerVsSingleThief(t *testing.T) {
 	}
 }
 
+// TestOwnerDequeLenNoFalseEmptyDuringMigration pins the no-false-empty
+// contract between popForeign and the lock-free Len: the migration
+// publishes the enlarged ring span before clearing fcount, and Len
+// loads fcount before the span, so a reader overlapping the migration
+// in any way overcounts rather than reading 0. The searchers' coverage
+// pass certifies emptiness from exactly these lock-free reads at a
+// stable version — and a migration (it runs inside the owner's Get)
+// bumps no version — so a false-empty window would let a Probe falsely
+// succeed while n-1 elements exist. Each iteration the owner parks the
+// readers, restocks the overflow and drains the ring (those ops DO bump
+// the pool version in real use, so tearing across them is excused by
+// the re-arm rule and must stay outside the measurement window), then
+// lets the readers hammer Len while the only racing mutation is one
+// overflow migration that keeps the deque at one element or more.
+func TestOwnerDequeLenNoFalseEmptyDuringMigration(t *testing.T) {
+	// The false-empty windows are a few instructions wide; on a single-P
+	// runtime the readers never land inside one, so force real
+	// interleaving even when the host (or -cpu) gives us one proc.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	const (
+		readers = 3
+		iters   = 3000
+		reads   = 32
+	)
+	var d OwnerDeque[int]
+	d.PushBottom(0) // ring holds one element at the top of every cycle
+	var sawEmpty atomic.Bool
+	ready := make([]chan struct{}, readers)
+	done := make(chan struct{}, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		ready[r] = make(chan struct{})
+		wg.Add(1)
+		go func(ch chan struct{}) {
+			defer wg.Done()
+			for range ch {
+				for k := 0; k < reads; k++ {
+					if d.Len() == 0 {
+						sawEmpty.Store(true)
+					}
+				}
+				done <- struct{}{}
+			}
+		}(ready[r])
+	}
+	for i := 0; i < iters && !sawEmpty.Load(); i++ {
+		// Outside the window: overflow 0→2, then drain the ring's one
+		// element, leaving {ring: 0, overflow: 2}.
+		d.AddForeign(i)
+		d.AddForeign(i)
+		if _, ok := d.PopBottom(); !ok {
+			t.Fatal("ring drain failed")
+		}
+		// Window: the pop below migrates both overflow elements into the
+		// ring and takes one — the deque's size never drops below one,
+		// so no reader may observe zero.
+		for _, ch := range ready {
+			ch <- struct{}{}
+		}
+		if _, ok := d.PopBottom(); !ok {
+			t.Fatal("migration pop failed")
+		}
+		for r := 0; r < readers; r++ {
+			<-done
+		}
+	}
+	for _, ch := range ready {
+		close(ch)
+	}
+	wg.Wait()
+	if sawEmpty.Load() {
+		t.Fatal("lock-free Len read 0 while the deque held elements (migration published a false-empty window)")
+	}
+}
+
 // TestOwnerDequeLayout is the false-sharing audit for the deque header:
 // the owner-hot bottom/buf line, the thief-written top, and the shared
 // lock tail must each sit at least a cache line apart, and the struct
